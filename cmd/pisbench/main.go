@@ -1,0 +1,94 @@
+// Command pisbench regenerates the evaluation figures of the PIS paper
+// (ICDE'06 §7) on the synthetic screen database: Figures 8-12 plus the
+// filter-timing claim. See EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	pisbench                     # all figures at the default scale
+//	pisbench -figure 9           # one figure
+//	pisbench -n 10000 -queries 1000   # paper scale (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pis/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pisbench: ")
+	var (
+		figure  = flag.String("figure", "all", "figure to regenerate: 8, 9, 10, 11, 12, timing, all")
+		n       = flag.Int("n", 2000, "database size (paper: 10000)")
+		queries = flag.Int("queries", 200, "queries per query set")
+		seed    = flag.Int64("seed", 1, "seed for generation and sampling")
+		maxFrag = flag.Int("maxfrag", 5, "max indexed fragment size for figures 8-11")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{DBSize: *n, Seed: *seed, Queries: *queries, MaxFragmentEdges: *maxFrag}
+	want := func(f string) bool { return *figure == "all" || *figure == f }
+
+	var env *harness.Env
+	buildEnv := func() *harness.Env {
+		if env == nil {
+			start := time.Now()
+			var err error
+			env, err = harness.BuildEnv(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "built environment: %d graphs, %d features, %v\n",
+				cfg.DBSize, len(env.Features), time.Since(start))
+		}
+		return env
+	}
+
+	printed := false
+	sep := func() {
+		if printed {
+			fmt.Println(strings.Repeat("=", 60))
+		}
+		printed = true
+	}
+
+	if want("8") {
+		sep()
+		harness.Figure8(buildEnv()).Render(os.Stdout)
+	}
+	if want("9") {
+		sep()
+		harness.Figure9(buildEnv()).Render(os.Stdout)
+	}
+	if want("10") {
+		sep()
+		harness.Figure10(buildEnv()).Render(os.Stdout)
+	}
+	if want("11") {
+		sep()
+		harness.Figure11(buildEnv()).Render(os.Stdout)
+	}
+	if want("12") {
+		sep()
+		f, err := harness.Figure12(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.Render(os.Stdout)
+	}
+	if want("timing") {
+		sep()
+		avg, qn := harness.FilterTiming(buildEnv(), 16, 2)
+		fmt.Printf("PIS filter stage: avg %v per query over %d Q16 queries (σ=2)\n", avg, qn)
+		fmt.Println("paper claim: pruning takes < 1 s per query on 2.5 GHz Xeon, 10k graphs")
+	}
+	if !printed {
+		log.Fatalf("unknown figure %q", *figure)
+	}
+}

@@ -1,0 +1,95 @@
+// Command pisquery loads a graph database and runs one SSSD query against
+// it, printing the matching graph ids and the per-stage statistics.
+//
+// Usage:
+//
+//	pisquery -db screen.db -query q.db -sigma 2
+//	pisquery -db screen.db -query q.db -sigma 2 -method toposearch
+//	pisquery -db screen.db -sample 16 -sigma 1   # sample a 16-edge query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pis"
+	"pis/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pisquery: ")
+	var (
+		dbPath  = flag.String("db", "", "database file (transaction format, required)")
+		qPath   = flag.String("query", "", "query file; the first graph is the query")
+		sample  = flag.Int("sample", 0, "instead of -query, sample a query with this many edges")
+		sigma   = flag.Float64("sigma", 1, "maximum superimposed distance σ")
+		method  = flag.String("method", "pis", "search method: pis, toposearch, naive")
+		maxFrag = flag.Int("maxfrag", 5, "maximum indexed fragment size (edges)")
+		seed    = flag.Int64("seed", 1, "seed for -sample")
+		verbose = flag.Bool("v", false, "print the query graph")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		log.Fatal("-db is required")
+	}
+	if (*qPath == "") == (*sample == 0) {
+		log.Fatal("exactly one of -query or -sample is required")
+	}
+
+	dbFile, err := os.Open(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphs, err := pis.ReadDatabase(dbFile)
+	dbFile.Close()
+	if err != nil {
+		log.Fatalf("reading database: %v", err)
+	}
+
+	var q *pis.Graph
+	if *qPath != "" {
+		qf, err := os.Open(*qPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err := pis.ReadDatabase(qf)
+		qf.Close()
+		if err != nil || len(qs) == 0 {
+			log.Fatalf("reading query: %v", err)
+		}
+		q = qs[0]
+	} else {
+		q = gen.Queries(graphs, 1, *sample, *seed)[0]
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "query: %v\n", q)
+	}
+
+	db, err := pis.New(graphs, pis.Options{MaxFragmentEdges: *maxFrag})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var r pis.Result
+	switch *method {
+	case "pis":
+		r = db.Search(q, *sigma)
+	case "toposearch", "topo", "toposprune", "topoprune":
+		r = db.SearchTopoPrune(q, *sigma)
+	case "naive":
+		r = db.SearchNaive(q, *sigma)
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	fmt.Printf("answers (%d): %v\n", len(r.Answers), r.Answers)
+	st := r.Stats
+	fmt.Printf("fragments: %d indexed, %d used, partition size %d\n",
+		st.QueryFragments, st.UsedFragments, st.PartitionSize)
+	fmt.Printf("candidates: %d structural, %d after distance pruning, %d verified\n",
+		st.StructCandidates, st.DistCandidates, st.Verified)
+	fmt.Printf("time: filter %v, verify %v\n", st.FilterTime, st.VerifyTime)
+}

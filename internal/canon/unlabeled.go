@@ -1,0 +1,124 @@
+package canon
+
+import "pis/internal/graph"
+
+// MinCodeUnlabeled computes the minimum DFS code and canonical embeddings
+// of a connected graph whose labels are all zero (a skeleton). Simple
+// paths and simple cycles — the overwhelmingly common fragment shapes in
+// molecular graphs — take a closed-form fast path; everything else falls
+// back to the general stepwise construction. Results are bit-identical to
+// MinCode on the same input (property-tested).
+func MinCodeUnlabeled(g *graph.Graph) (Code, []Embedding) {
+	if n, m := g.N(), g.M(); m >= 1 && n >= 2 {
+		if m == n-1 {
+			if ends := pathEnds(g); ends != nil {
+				return pathCode(g, ends)
+			}
+		} else if m == n && allDegreeTwo(g) {
+			return cycleCode(g)
+		}
+	}
+	return MinCode(g)
+}
+
+// pathEnds returns the two degree-1 endpoints when g is a simple path
+// (acyclic with max degree 2), or nil.
+func pathEnds(g *graph.Graph) []int32 {
+	var ends []int32
+	for v := 0; v < g.N(); v++ {
+		switch g.Degree(v) {
+		case 1:
+			ends = append(ends, int32(v))
+		case 2:
+		default:
+			return nil
+		}
+	}
+	if len(ends) != 2 {
+		return nil
+	}
+	return ends
+}
+
+func allDegreeTwo(g *graph.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// chainCode is the min DFS code of an unlabeled chain of m forward edges.
+func chainCode(m int) Code {
+	code := make(Code, m)
+	for i := range code {
+		code[i] = Tuple{I: int32(i), J: int32(i + 1)}
+	}
+	return code
+}
+
+// pathCode: the min code is the forward chain; the embeddings walk the
+// path from each end.
+func pathCode(g *graph.Graph, ends []int32) (Code, []Embedding) {
+	m := g.M()
+	embs := make([]Embedding, 0, 2)
+	for _, start := range ends {
+		verts := make([]int32, 0, g.N())
+		edges := make([]int32, 0, m)
+		prevEdge := int32(-1)
+		v := start
+		verts = append(verts, v)
+		for len(edges) < m {
+			for _, e := range g.IncidentEdges(int(v)) {
+				if e == prevEdge {
+					continue
+				}
+				edges = append(edges, e)
+				v = g.Other(int(e), v)
+				verts = append(verts, v)
+				prevEdge = e
+				break
+			}
+		}
+		embs = append(embs, Embedding{Vertices: verts, Edges: edges})
+	}
+	return chainCode(m), embs
+}
+
+// cycleCode: the min code is the forward chain plus one closing backward
+// edge; the embeddings start at every vertex in both directions (2n).
+func cycleCode(g *graph.Graph) (Code, []Embedding) {
+	n := g.N()
+	code := chainCode(n - 1)
+	code = append(code, Tuple{I: int32(n - 1), J: 0})
+	embs := make([]Embedding, 0, 2*n)
+	for start := 0; start < n; start++ {
+		for _, dirFirst := range [2]int{0, 1} {
+			inc := g.IncidentEdges(start)
+			firstEdge := inc[dirFirst]
+			verts := make([]int32, 0, n)
+			edges := make([]int32, 0, n)
+			v := int32(start)
+			verts = append(verts, v)
+			e := firstEdge
+			for len(edges) < n-1 {
+				edges = append(edges, e)
+				v = g.Other(int(e), v)
+				verts = append(verts, v)
+				// next edge: the incident edge that is not e
+				for _, ne := range g.IncidentEdges(int(v)) {
+					if ne != e {
+						e = ne
+						break
+					}
+				}
+			}
+			// closing backward edge: between verts[n-1] and verts[0]
+			closing := int32(g.EdgeBetween(verts[n-1], verts[0]))
+			edges = append(edges, closing)
+			embs = append(embs, Embedding{Vertices: verts, Edges: edges})
+		}
+	}
+	return code, embs
+}

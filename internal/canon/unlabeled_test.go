@@ -1,0 +1,80 @@
+package canon
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pis/internal/graph"
+)
+
+// embSet renders an embedding set order-independently for comparison.
+func embSet(embs []Embedding) string {
+	keys := make([]string, len(embs))
+	for i, e := range embs {
+		var b strings.Builder
+		for _, v := range e.Vertices {
+			b.WriteByte(byte(v))
+			b.WriteByte(',')
+		}
+		b.WriteByte('|')
+		for _, ed := range e.Edges {
+			b.WriteByte(byte(ed))
+			b.WriteByte(',')
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+func TestUnlabeledFastPathMatchesGeneral(t *testing.T) {
+	cases := []*graph.Graph{
+		path(1, 0, 0), path(2, 0, 0), path(5, 0, 0), path(7, 0, 0),
+		cycle(3, 0, 0), cycle(4, 0, 0), cycle(5, 0, 0), cycle(6, 0, 0), cycle(7, 0, 0),
+	}
+	for i, g := range cases {
+		cf, ef := MinCodeUnlabeled(g)
+		cs, es := MinCode(g)
+		if cf.Compare(cs) != 0 {
+			t.Errorf("case %d: fast code %v != general %v", i, cf, cs)
+		}
+		if embSet(ef) != embSet(es) {
+			t.Errorf("case %d: embedding sets differ (%d vs %d)", i, len(ef), len(es))
+		}
+	}
+}
+
+func TestUnlabeledFastPathRandomFragments(t *testing.T) {
+	// Random skeleton fragments like the index enumerates: trees, rings
+	// with chords, branched shapes. Fast path must agree everywhere.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 150; trial++ {
+		g := randomConnected(rng, 7, 1, 1).Skeleton()
+		cf, ef := MinCodeUnlabeled(g)
+		cs, es := MinCode(g)
+		if cf.Compare(cs) != 0 {
+			t.Fatalf("trial %d: codes differ for %v", trial, g)
+		}
+		if embSet(ef) != embSet(es) {
+			t.Fatalf("trial %d: embeddings differ for %v", trial, g)
+		}
+	}
+}
+
+func BenchmarkMinCodeUnlabeledHexagon(b *testing.B) {
+	g := cycle(6, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MinCodeUnlabeled(g)
+	}
+}
+
+func BenchmarkMinCodeUnlabeledPath5(b *testing.B) {
+	g := path(5, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MinCodeUnlabeled(g)
+	}
+}

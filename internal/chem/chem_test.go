@@ -1,0 +1,200 @@
+package chem
+
+import (
+	"testing"
+
+	"pis/internal/graph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(20, Config{Seed: 42})
+	b := Generate(20, Config{Seed: 42})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("graph %d differs across same-seed runs", i)
+		}
+	}
+	c := Generate(20, Config{Seed: 43})
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestGeneratedGraphsAreValidMolecules(t *testing.T) {
+	db := Generate(200, Config{Seed: 7})
+	for i, g := range db {
+		if !g.Connected() {
+			t.Fatalf("graph %d disconnected", i)
+		}
+		if g.N() < 8 {
+			t.Fatalf("graph %d too small: %d vertices", i, g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > 6 {
+				t.Fatalf("graph %d vertex %d degree %d: not molecule-like", i, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestSizeDistributionMatchesPaper(t *testing.T) {
+	db := Generate(2000, Config{Seed: 1})
+	s := Summarize(db)
+	// Paper: avg 25 vertices / 27 edges, max 214/217. Accept a band.
+	if s.AvgVertices < 18 || s.AvgVertices > 32 {
+		t.Errorf("average vertices %.1f outside [18,32]", s.AvgVertices)
+	}
+	if s.AvgEdges < s.AvgVertices {
+		t.Errorf("average edges %.1f below average vertices %.1f: too few rings",
+			s.AvgEdges, s.AvgVertices)
+	}
+	if s.MaxVertices < 60 {
+		t.Errorf("max vertices %d: size tail too light", s.MaxVertices)
+	}
+	if s.MaxVertices > 220 {
+		t.Errorf("max vertices %d above clip", s.MaxVertices)
+	}
+}
+
+func TestLabelSkew(t *testing.T) {
+	db := Generate(500, Config{Seed: 3})
+	s := Summarize(db)
+	totalAtoms := 0
+	for _, c := range s.AtomCounts {
+		totalAtoms += c
+	}
+	carbonFrac := float64(s.AtomCounts[AtomC]) / float64(totalAtoms)
+	if carbonFrac < 0.7 {
+		t.Errorf("carbon fraction %.2f: not carbon-dominated", carbonFrac)
+	}
+	totalBonds := 0
+	for _, c := range s.BondCounts {
+		totalBonds += c
+	}
+	singleFrac := float64(s.BondCounts[BondSingle]) / float64(totalBonds)
+	if singleFrac < 0.4 {
+		t.Errorf("single-bond fraction %.2f too low", singleFrac)
+	}
+	if s.BondCounts[BondAromatic] == 0 || s.BondCounts[BondDouble] == 0 {
+		t.Error("missing aromatic or double bonds entirely")
+	}
+	// Label diversity must exist, otherwise mutation distance is trivial.
+	if len(s.BondCounts) < 3 {
+		t.Errorf("only %d bond kinds", len(s.BondCounts))
+	}
+}
+
+func TestWeightedGeneration(t *testing.T) {
+	db := Generate(50, Config{Seed: 5, Weighted: true})
+	for _, g := range db {
+		for _, e := range g.Edges() {
+			if e.Weight <= 0.5 || e.Weight >= 2.5 {
+				t.Fatalf("bond weight %v outside plausible range", e.Weight)
+			}
+		}
+		if g.VWeightAt(0) <= 0 {
+			t.Fatal("vertex weights missing")
+		}
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	db := Generate(100, Config{Seed: 11})
+	for _, m := range []int{4, 8, 16, 24} {
+		qs := SampleQueries(db, 25, m, 99)
+		if len(qs) != 25 {
+			t.Fatalf("m=%d: got %d queries", m, len(qs))
+		}
+		for _, q := range qs {
+			if q.M() != m {
+				t.Fatalf("query has %d edges, want %d", q.M(), m)
+			}
+			if !q.Connected() {
+				t.Fatal("disconnected query")
+			}
+		}
+	}
+	// Determinism.
+	a := SampleQueries(db, 5, 8, 1)
+	b := SampleQueries(db, 5, 8, 1)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("query sampling not deterministic")
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Graphs != 0 || s.AvgVertices != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func TestQueriesEmbedInSource(t *testing.T) {
+	// Sampled queries must structurally embed somewhere in the database
+	// (they were cut from it). Spot-check via fragment reconstruction.
+	db := Generate(30, Config{Seed: 13})
+	qs := SampleQueries(db, 10, 6, 17)
+	for _, q := range qs {
+		found := false
+		for _, g := range db {
+			if q.N() <= g.N() && q.M() <= g.M() && hasEmbedding(q, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("sampled query embeds nowhere in the database")
+		}
+	}
+}
+
+// hasEmbedding is a tiny structural check to avoid importing iso (keeps the
+// package dependency graph acyclic for tests): greedy DFS backtracking.
+func hasEmbedding(p, h *graph.Graph) bool {
+	assign := make([]int32, p.N())
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, h.N())
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == p.N() {
+			return true
+		}
+		for hv := int32(0); hv < int32(h.N()); hv++ {
+			if used[hv] {
+				continue
+			}
+			ok := true
+			for _, e := range p.IncidentEdges(v) {
+				w := p.Other(int(e), int32(v))
+				if assign[w] >= 0 && h.EdgeBetween(hv, assign[w]) < 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assign[v] = hv
+				used[hv] = true
+				if rec(v + 1) {
+					return true
+				}
+				assign[v] = -1
+				used[hv] = false
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,358 @@
+// Package core implements the PIS search pipeline of the paper
+// (Algorithm 2) together with the two baselines it is evaluated against:
+//
+//   - Naive — verify the superimposed distance of every database graph;
+//   - topoPrune — intersect the structural postings of the query's
+//     indexed fragments (gIndex-style structure-only filtering), then
+//     verify the survivors;
+//   - PIS — additionally run a σ range query per fragment, intersect the
+//     in-range graph sets, compute dynamic fragment selectivities, pick a
+//     maximum-selectivity vertex-disjoint partition (MWIS), and prune
+//     every graph whose partition distance sum exceeds σ (the Eq. 2 lower
+//     bound), before verifying.
+//
+// All three return identical answer sets; they differ only in how many
+// candidates reach the expensive verification stage, which is exactly
+// what the paper's experiments measure.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/iso"
+	"pis/internal/partition"
+)
+
+// Options tunes the PIS filtering stage.
+type Options struct {
+	// Epsilon drops fragments whose static selectivity estimate is at most
+	// Epsilon before any range query runs (Algorithm 2 line 5): fragments
+	// contained in (nearly) every graph cannot prune. The static estimate
+	// is λσ·(n-|postings|)/n. Default 0 (drop only universal fragments).
+	Epsilon float64
+	// Lambda scales the selectivity cutoff: graphs without an in-range
+	// fragment contribute λσ to w(g) (Figure 11 sweeps λ). Default 1.
+	Lambda float64
+	// PartitionK selects the partition solver: 1 = Greedy (Algorithm 1),
+	// k >= 2 = EnhancedGreedy(k), -1 = exact branch and bound. Default 1.
+	PartitionK int
+	// MaxFragmentsPerQuery caps the indexed fragments used per query,
+	// keeping the largest structures (0 = unlimited).
+	MaxFragmentsPerQuery int
+	// SkipVerification stops after filtering; Result.Answers stays nil.
+	// The candidate-counting experiments (Figures 8-12) use this.
+	SkipVerification bool
+}
+
+func (o Options) normalized() Options {
+	if o.Lambda <= 0 {
+		o.Lambda = 1
+	}
+	if o.PartitionK == 0 {
+		o.PartitionK = 1
+	}
+	return o
+}
+
+// Stats instruments one search.
+type Stats struct {
+	QueryFragments   int // indexed fragments found in the query
+	UsedFragments    int // after the ε filter and cap
+	PartitionSize    int // fragments in the chosen partition
+	StructCandidates int // graphs passing structure-only intersection (Yt)
+	DistCandidates   int // graphs passing PIS filtering (Yp, |CQ|)
+	Verified         int // candidates actually verified
+	FilterTime       time.Duration
+	VerifyTime       time.Duration
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	// Answers are the graph ids with d(Q,G) <= σ, ascending. Nil when
+	// verification was skipped.
+	Answers []int32
+	// Distances holds the exact superimposed distance of each answer,
+	// aligned with Answers.
+	Distances []float64
+	// Candidates are the graph ids that reached verification, ascending.
+	Candidates []int32
+	Stats      Stats
+}
+
+// Searcher runs SSSD queries against one database + index pair.
+type Searcher struct {
+	db     []*graph.Graph
+	idx    *index.Index
+	metric distance.Metric
+	opts   Options
+}
+
+// NewSearcher builds a Searcher. The metric must be the one the index was
+// built with; opts zero value gives the paper's defaults.
+func NewSearcher(db []*graph.Graph, idx *index.Index, opts Options) *Searcher {
+	return &Searcher{db: db, idx: idx, metric: idx.Options().Metric, opts: opts.normalized()}
+}
+
+// DB returns the database the searcher answers over.
+func (s *Searcher) DB() []*graph.Graph { return s.db }
+
+// Index returns the underlying fragment index.
+func (s *Searcher) Index() *index.Index { return s.idx }
+
+// SearchNaive verifies every graph in the database.
+func (s *Searcher) SearchNaive(q *graph.Graph, sigma float64) Result {
+	var r Result
+	r.Candidates = make([]int32, len(s.db))
+	for i := range s.db {
+		r.Candidates[i] = int32(i)
+	}
+	r.Stats.StructCandidates = len(s.db)
+	r.Stats.DistCandidates = len(s.db)
+	s.verify(q, sigma, &r)
+	return r
+}
+
+// SearchTopoPrune filters by structure only: a graph survives when it
+// contains every indexed fragment structure of the query, then gets
+// verified (the baseline of §2 and §7).
+func (s *Searcher) SearchTopoPrune(q *graph.Graph, sigma float64) Result {
+	var r Result
+	start := time.Now()
+	frags := s.usableFragments(q, sigma, &r.Stats)
+	cands := s.structuralCandidates(frags)
+	r.Stats.StructCandidates = len(cands)
+	r.Stats.DistCandidates = len(cands) // no distance pruning in this method
+	r.Candidates = cands
+	r.Stats.FilterTime = time.Since(start)
+	s.verify(q, sigma, &r)
+	return r
+}
+
+// Search runs the full PIS pipeline (Algorithm 2).
+func (s *Searcher) Search(q *graph.Graph, sigma float64) Result {
+	var r Result
+	start := time.Now()
+	n := len(s.db)
+	frags := s.usableFragments(q, sigma, &r.Stats)
+
+	// Structure-only candidate count, for reporting Yt without a second
+	// pass (the postings are already in memory).
+	r.Stats.StructCandidates = len(s.structuralCandidates(frags))
+
+	if len(frags) == 0 {
+		// No indexed fragment: every graph stays a candidate.
+		r.Candidates = allIDs(n)
+		r.Stats.DistCandidates = n
+		r.Stats.FilterTime = time.Since(start)
+		s.verify(q, sigma, &r)
+		return r
+	}
+
+	// Lines 6-18: one σ range query per fragment; intersect the in-range
+	// graph sets; compute dynamic selectivities.
+	type fragInfo struct {
+		qf index.QueryFragment
+		T  map[int32]float64 // d(g,G) per in-range graph
+		w  float64           // dynamic selectivity
+	}
+	infos := make([]fragInfo, 0, len(frags))
+	var cq map[int32]bool // nil means "all graphs"
+	for _, qf := range frags {
+		T := s.idx.RangeQuery(qf, sigma)
+		sum := 0.0
+		for _, d := range T {
+			sum += d
+		}
+		w := sum/float64(n) + float64(n-len(T))/float64(n)*s.opts.Lambda*sigma
+		infos = append(infos, fragInfo{qf: qf, T: T, w: w})
+		cq = intersect(cq, T)
+		if cq != nil && len(cq) == 0 {
+			break
+		}
+	}
+
+	if cq == nil {
+		cq = make(map[int32]bool, n)
+		for i := 0; i < n; i++ {
+			cq[int32(i)] = true
+		}
+	}
+
+	// Lines 19-20: overlapping-relation graph + MWIS partition.
+	var part []int
+	if len(cq) > 0 {
+		vertexSets := make([][]int32, len(infos))
+		weights := make([]float64, len(infos))
+		for i, fi := range infos {
+			vertexSets[i] = fi.qf.Vertices
+			weights[i] = fi.w
+		}
+		og := partition.NewOverlapGraph(vertexSets, weights)
+		var chosen []int32
+		switch {
+		case s.opts.PartitionK < 0:
+			chosen = partition.Exact(og)
+		case s.opts.PartitionK <= 1:
+			chosen = partition.Greedy(og)
+		default:
+			chosen = partition.EnhancedGreedy(og, s.opts.PartitionK)
+		}
+		for _, c := range chosen {
+			part = append(part, int(c))
+		}
+		r.Stats.PartitionSize = len(part)
+
+		// Lines 21-23: prune by the partition lower bound.
+		for id := range cq {
+			sum := 0.0
+			for _, fi := range part {
+				d, ok := infos[fi].T[id]
+				if !ok {
+					// Not in range for a partition fragment: the fragment
+					// distance exceeds σ, so the lower bound does too.
+					sum = sigma + 1
+					break
+				}
+				sum += d
+			}
+			if sum > sigma {
+				delete(cq, id)
+			}
+		}
+	}
+
+	r.Candidates = sortedIDs(cq)
+	r.Stats.DistCandidates = len(r.Candidates)
+	r.Stats.FilterTime = time.Since(start)
+	s.verify(q, sigma, &r)
+	return r
+}
+
+// usableFragments enumerates the query's indexed fragments and applies the
+// ε filter (line 5) and the per-query cap.
+func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats) []index.QueryFragment {
+	frags := s.idx.QueryFragments(q)
+	st.QueryFragments = len(frags)
+	n := float64(len(s.db))
+	kept := frags[:0]
+	for _, qf := range frags {
+		// Static selectivity estimate from postings alone; with σ = 0 the
+		// distance term vanishes, so fall back to structural rarity to
+		// avoid dropping every fragment.
+		scale := s.opts.Lambda * sigma
+		if sigma == 0 {
+			scale = 1
+		}
+		static := scale * (n - float64(len(qf.Class.Postings()))) / n
+		if static <= s.opts.Epsilon {
+			continue
+		}
+		kept = append(kept, qf)
+	}
+	if limit := s.opts.MaxFragmentsPerQuery; limit > 0 && len(kept) > limit {
+		sort.SliceStable(kept, func(i, j int) bool {
+			ci, cj := kept[i].Class, kept[j].Class
+			if ci.NumE != cj.NumE {
+				return ci.NumE > cj.NumE
+			}
+			return len(ci.Postings()) < len(cj.Postings())
+		})
+		kept = kept[:limit]
+	}
+	st.UsedFragments = len(kept)
+	return kept
+}
+
+// structuralCandidates intersects the structural postings of the fragments
+// (topoPrune's filter). No fragments means no structural information: all.
+func (s *Searcher) structuralCandidates(frags []index.QueryFragment) []int32 {
+	if len(frags) == 0 {
+		return allIDs(len(s.db))
+	}
+	// Intersect smallest postings first.
+	order := make([]int, len(frags))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(frags[order[a]].Class.Postings()) < len(frags[order[b]].Class.Postings())
+	})
+	var cur map[int32]bool
+	for _, i := range order {
+		post := frags[i].Class.Postings()
+		if cur == nil {
+			cur = make(map[int32]bool, len(post))
+			for _, id := range post {
+				cur[id] = true
+			}
+			continue
+		}
+		next := make(map[int32]bool, len(cur))
+		for _, id := range post {
+			if cur[id] {
+				next[id] = true
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return sortedIDs(cur)
+}
+
+// verify computes the true superimposed distance of every candidate.
+func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result) {
+	if s.opts.SkipVerification {
+		return
+	}
+	start := time.Now()
+	r.Answers = []int32{}
+	for _, id := range r.Candidates {
+		d := iso.MinSuperimposedDistance(q, s.db[id], s.metric, sigma)
+		if !distance.IsInfinite(d) && d <= sigma {
+			r.Answers = append(r.Answers, id)
+			r.Distances = append(r.Distances, d)
+		}
+	}
+	r.Stats.Verified = len(r.Candidates)
+	r.Stats.VerifyTime = time.Since(start)
+}
+
+func intersect(cur map[int32]bool, T map[int32]float64) map[int32]bool {
+	if cur == nil {
+		out := make(map[int32]bool, len(T))
+		for id := range T {
+			out[id] = true
+		}
+		return out
+	}
+	out := make(map[int32]bool, len(cur))
+	for id := range T {
+		if cur[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func allIDs(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func sortedIDs(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

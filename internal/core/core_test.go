@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/iso"
+	"pis/internal/mining"
+)
+
+// randomMolecule builds a sparse connected graph with skewed edge labels
+// (single bonds dominate) so that distances behave like the AIDS data.
+func randomMolecule(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n, n+3)
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	lab := func() graph.ELabel {
+		r := rng.Intn(10)
+		switch {
+		case r < 7:
+			return 0
+		case r < 9:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(rng.Intn(i)), int32(i), lab())
+	}
+	return b.MustBuild()
+}
+
+type fixture struct {
+	db  []*graph.Graph
+	idx *index.Index
+}
+
+func newFixture(t *testing.T, seed int64, n int) fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		db[i] = randomMolecule(rng, 7+rng.Intn(6))
+	}
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 4, MinSupportFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(db, feats, index.Options{Kind: index.TrieIndex, Metric: distance.EdgeMutation{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{db: db, idx: idx}
+}
+
+// sampleQuery extracts a connected m-edge subgraph from a database graph.
+func sampleQuery(rng *rand.Rand, db []*graph.Graph, m int) *graph.Graph {
+	for {
+		g := db[rng.Intn(len(db))]
+		edges := graph.RandomConnectedSubgraph(g, m, rng.Intn)
+		if edges == nil {
+			continue
+		}
+		sub, _, _ := graph.Fragment{Host: g, Edges: edges}.Extract()
+		return sub
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(a, b []int32) bool {
+	in := map[int32]bool{}
+	for _, id := range b {
+		in[id] = true
+	}
+	for _, id := range a {
+		if !in[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllMethodsAgree is the central soundness/completeness check: PIS and
+// topoPrune must return exactly the naive answer set — the filters may
+// only discard graphs that cannot be answers.
+func TestAllMethodsAgree(t *testing.T) {
+	fx := newFixture(t, 1, 40)
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 12; trial++ {
+		q := sampleQuery(rng, fx.db, 4+rng.Intn(4))
+		sigma := float64(rng.Intn(3))
+		naive := s.SearchNaive(q, sigma)
+		topo := s.SearchTopoPrune(q, sigma)
+		pis := s.Search(q, sigma)
+		if !equalIDs(naive.Answers, topo.Answers) {
+			t.Fatalf("trial %d σ=%v: topoPrune answers %v != naive %v",
+				trial, sigma, topo.Answers, naive.Answers)
+		}
+		if !equalIDs(naive.Answers, pis.Answers) {
+			t.Fatalf("trial %d σ=%v: PIS answers %v != naive %v\n candidates=%v",
+				trial, sigma, pis.Answers, naive.Answers, pis.Candidates)
+		}
+		// Filtering must never grow the candidate set.
+		if !subset(pis.Candidates, topo.Candidates) {
+			t.Fatalf("trial %d: PIS candidates not a subset of topoPrune's", trial)
+		}
+		if !subset(pis.Answers, pis.Candidates) {
+			t.Fatalf("trial %d: answers escaped the candidate set", trial)
+		}
+	}
+}
+
+func TestPartitionLowerBoundProperty(t *testing.T) {
+	// Eq. 2: for any vertex-disjoint set of query fragments, the sum of
+	// fragment distances lower-bounds the query distance. Exercised via
+	// random fragments and the exact distance oracle.
+	fx := newFixture(t, 5, 15)
+	metric := distance.EdgeMutation{}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		q := sampleQuery(rng, fx.db, 6)
+		qfs := fx.idx.QueryFragments(q)
+		if len(qfs) < 2 {
+			continue
+		}
+		// Pick a random vertex-disjoint pair.
+		var a, b index.QueryFragment
+		found := false
+		for i := 0; i < len(qfs) && !found; i++ {
+			for j := i + 1; j < len(qfs); j++ {
+				if !overlaps(qfs[i].Vertices, qfs[j].Vertices) {
+					a, b, found = qfs[i], qfs[j], true
+					break
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		subA, _, _ := graph.Fragment{Host: q, Edges: a.Edges}.Extract()
+		subB, _, _ := graph.Fragment{Host: q, Edges: b.Edges}.Extract()
+		for _, g := range fx.db {
+			dq := iso.MinSuperimposedDistance(q, g, metric, -1)
+			if distance.IsInfinite(dq) {
+				continue
+			}
+			da := iso.MinSuperimposedDistance(subA, g, metric, -1)
+			db2 := iso.MinSuperimposedDistance(subB, g, metric, -1)
+			if distance.IsInfinite(da) || distance.IsInfinite(db2) {
+				t.Fatal("fragment missing from a graph containing the query")
+			}
+			if da+db2 > dq {
+				t.Fatalf("lower bound violated: d(a)=%v + d(b)=%v > d(Q)=%v", da, db2, dq)
+			}
+		}
+	}
+}
+
+func overlaps(a, b []int32) bool {
+	in := map[int32]bool{}
+	for _, v := range a {
+		in[v] = true
+	}
+	for _, v := range b {
+		if in[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPISPrunesMoreWithSmallerSigma(t *testing.T) {
+	fx := newFixture(t, 9, 60)
+	s := NewSearcher(fx.db, fx.idx, Options{SkipVerification: true})
+	rng := rand.New(rand.NewSource(10))
+	totals := map[float64]int{}
+	for trial := 0; trial < 15; trial++ {
+		q := sampleQuery(rng, fx.db, 6)
+		for _, sigma := range []float64{0, 2, 4} {
+			totals[sigma] += s.Search(q, sigma).Stats.DistCandidates
+		}
+	}
+	if !(totals[0] <= totals[2] && totals[2] <= totals[4]) {
+		t.Errorf("candidate counts not monotone in σ: %v", totals)
+	}
+}
+
+func TestPartitionStrategies(t *testing.T) {
+	fx := newFixture(t, 11, 30)
+	rng := rand.New(rand.NewSource(12))
+	q := sampleQuery(rng, fx.db, 7)
+	for _, k := range []int{1, 2, -1} {
+		s := NewSearcher(fx.db, fx.idx, Options{PartitionK: k})
+		r := s.Search(q, 2)
+		naive := s.SearchNaive(q, 2)
+		if !equalIDs(r.Answers, naive.Answers) {
+			t.Errorf("partition k=%d changed the answers", k)
+		}
+		if r.Stats.PartitionSize < 1 {
+			t.Errorf("partition k=%d produced empty partition", k)
+		}
+	}
+}
+
+func TestSkipVerification(t *testing.T) {
+	fx := newFixture(t, 13, 10)
+	s := NewSearcher(fx.db, fx.idx, Options{SkipVerification: true})
+	rng := rand.New(rand.NewSource(14))
+	r := s.Search(sampleQuery(rng, fx.db, 4), 2)
+	if r.Answers != nil {
+		t.Error("answers computed despite SkipVerification")
+	}
+	if r.Stats.Verified != 0 {
+		t.Error("verification ran despite SkipVerification")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	fx := newFixture(t, 15, 25)
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	rng := rand.New(rand.NewSource(16))
+	r := s.Search(sampleQuery(rng, fx.db, 5), 2)
+	st := r.Stats
+	if st.QueryFragments == 0 || st.UsedFragments == 0 {
+		t.Errorf("fragment stats empty: %+v", st)
+	}
+	if st.StructCandidates < st.DistCandidates {
+		t.Errorf("structural candidates < distance candidates: %+v", st)
+	}
+	if st.Verified != len(r.Candidates) {
+		t.Errorf("verified %d != candidates %d", st.Verified, len(r.Candidates))
+	}
+}
+
+func TestLambdaZeroFallsBackToDefault(t *testing.T) {
+	fx := newFixture(t, 17, 10)
+	s := NewSearcher(fx.db, fx.idx, Options{Lambda: 0})
+	if s.opts.Lambda != 1 {
+		t.Errorf("lambda not defaulted: %v", s.opts.Lambda)
+	}
+}
+
+func TestMaxFragmentsCap(t *testing.T) {
+	fx := newFixture(t, 19, 25)
+	s := NewSearcher(fx.db, fx.idx, Options{MaxFragmentsPerQuery: 3})
+	rng := rand.New(rand.NewSource(20))
+	q := sampleQuery(rng, fx.db, 7)
+	r := s.Search(q, 2)
+	if r.Stats.UsedFragments > 3 {
+		t.Errorf("cap ignored: %d fragments used", r.Stats.UsedFragments)
+	}
+	// Correctness preserved under the cap.
+	naive := s.SearchNaive(q, 2)
+	if !equalIDs(r.Answers, naive.Answers) {
+		t.Error("capping fragments changed the answers")
+	}
+}

@@ -1,0 +1,69 @@
+// k-nearest-neighbor search over the superimposed distance, an extension
+// beyond the paper's threshold queries: instead of "all graphs within σ",
+// return "the k closest graphs". Implemented by progressive threshold
+// expansion — run the PIS filter at a growing σ until at least k answers
+// are inside, then cut to the k smallest distances. Every intermediate
+// pass reuses the same index, so the cost stays close to a single search
+// at the final radius.
+
+package core
+
+import (
+	"sort"
+
+	"pis/internal/graph"
+)
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID       int32
+	Distance float64
+}
+
+// SearchKNN returns the k database graphs with the smallest superimposed
+// distance to q, nearest first (ties broken by ascending id). maxSigma
+// bounds the search radius: graphs farther than maxSigma — including every
+// graph not containing q's structure — are never returned, so the result
+// may hold fewer than k entries. startSigma seeds the expansion; pass 0
+// for the metric-agnostic default (1, doubling).
+func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64) []Neighbor {
+	if k <= 0 || maxSigma < 0 {
+		return nil
+	}
+	if s.opts.SkipVerification {
+		// kNN needs exact distances; run with verification regardless.
+		opts := s.opts
+		opts.SkipVerification = false
+		s = &Searcher{db: s.db, idx: s.idx, metric: s.metric, opts: opts}
+	}
+	sigma := startSigma
+	if sigma <= 0 {
+		sigma = 1
+	}
+	if sigma > maxSigma {
+		sigma = maxSigma
+	}
+	for {
+		r := s.Search(q, sigma)
+		if len(r.Answers) >= k || sigma >= maxSigma {
+			ns := make([]Neighbor, len(r.Answers))
+			for i, id := range r.Answers {
+				ns[i] = Neighbor{ID: id, Distance: r.Distances[i]}
+			}
+			sort.SliceStable(ns, func(i, j int) bool {
+				if ns[i].Distance != ns[j].Distance {
+					return ns[i].Distance < ns[j].Distance
+				}
+				return ns[i].ID < ns[j].ID
+			})
+			if len(ns) > k {
+				ns = ns[:k]
+			}
+			return ns
+		}
+		sigma *= 2
+		if sigma > maxSigma {
+			sigma = maxSigma
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/iso"
+	"pis/internal/mining"
+)
+
+// buildWith builds a fixture with an arbitrary metric and index kind.
+func buildWith(t *testing.T, seed int64, n int, kind index.Kind, metric distance.Metric) fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		db[i] = randomMolecule(rng, 7+rng.Intn(5))
+	}
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 3, MinSupportFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(db, feats, index.Options{Kind: kind, Metric: metric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{db: db, idx: idx}
+}
+
+// TestMatrixMetricAllKinds runs a non-unit mutation score matrix through
+// the trie and VP-tree class indexes: fractional relabeling costs exercise
+// the budgeted walks with non-integer budgets, and every method must agree
+// with naive.
+func TestMatrixMetricAllKinds(t *testing.T) {
+	m := distance.NewMatrix()
+	m.SetEdgeScore(0, 1, 0.5) // cheap mutation
+	m.SetEdgeScore(1, 2, 0.25)
+	m.SetVertexScore(0, 1, 0.75)
+	for _, kind := range []index.Kind{index.TrieIndex, index.VPTreeIndex} {
+		fx := buildWith(t, 71, 25, kind, m)
+		s := NewSearcher(fx.db, fx.idx, Options{})
+		rng := rand.New(rand.NewSource(72))
+		for trial := 0; trial < 6; trial++ {
+			q := sampleQuery(rng, fx.db, 4)
+			sigma := []float64{0.5, 1.25, 2}[trial%3]
+			pis := s.Search(q, sigma)
+			naive := s.SearchNaive(q, sigma)
+			if !equalIDs(pis.Answers, naive.Answers) {
+				t.Fatalf("%v trial %d σ=%v: PIS %v != naive %v",
+					kind, trial, sigma, pis.Answers, naive.Answers)
+			}
+		}
+	}
+}
+
+// TestSigmaZeroIsExactLabeledContainment: σ=0 degenerates SSSD to exact
+// labeled substructure search, and PIS must still be sound and complete.
+func TestSigmaZeroIsExactLabeledContainment(t *testing.T) {
+	fx := newFixture(t, 73, 30)
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 8; trial++ {
+		q := sampleQuery(rng, fx.db, 5)
+		pis := s.Search(q, 0)
+		naive := s.SearchNaive(q, 0)
+		if !equalIDs(pis.Answers, naive.Answers) {
+			t.Fatalf("trial %d: σ=0 answers differ", trial)
+		}
+		// Every answer must contain q exactly (distance 0).
+		for _, id := range pis.Answers {
+			d := iso.MinSuperimposedDistance(q, fx.db[id], distance.EdgeMutation{}, 0)
+			if d != 0 {
+				t.Fatalf("trial %d: answer %d at distance %v under σ=0", trial, id, d)
+			}
+		}
+	}
+}
+
+// TestEpsilonSweepKeepsAnswers: raising ε drops fragments (less pruning)
+// but can never change the answer set.
+func TestEpsilonSweepKeepsAnswers(t *testing.T) {
+	fx := newFixture(t, 75, 30)
+	rng := rand.New(rand.NewSource(76))
+	q := sampleQuery(rng, fx.db, 6)
+	var baseline []int32
+	var prevCand int
+	for i, eps := range []float64{0, 0.5, 1, 2} {
+		s := NewSearcher(fx.db, fx.idx, Options{Epsilon: eps})
+		r := s.Search(q, 2)
+		if i == 0 {
+			baseline = r.Answers
+			prevCand = len(r.Candidates)
+			continue
+		}
+		if !equalIDs(r.Answers, baseline) {
+			t.Fatalf("ε=%v changed the answers", eps)
+		}
+		// More aggressive fragment dropping can only weaken pruning.
+		if len(r.Candidates) < prevCand {
+			// Allowed to stay equal or grow; shrinking means the filter got
+			// stronger with fewer fragments, which is impossible.
+			t.Fatalf("ε=%v shrank the candidate set: %d -> %d",
+				eps, prevCand, len(r.Candidates))
+		}
+		prevCand = len(r.Candidates)
+	}
+}
+
+// TestAnswersDistancesConsistent: reported distances match the oracle.
+func TestAnswersDistancesConsistent(t *testing.T) {
+	fx := newFixture(t, 77, 20)
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	rng := rand.New(rand.NewSource(78))
+	q := sampleQuery(rng, fx.db, 5)
+	r := s.Search(q, 3)
+	if len(r.Distances) != len(r.Answers) {
+		t.Fatalf("distances/answers length mismatch")
+	}
+	for i, id := range r.Answers {
+		want := iso.MinSuperimposedDistance(q, fx.db[id], distance.EdgeMutation{}, -1)
+		if r.Distances[i] != want {
+			t.Fatalf("answer %d distance %v, oracle %v", id, r.Distances[i], want)
+		}
+	}
+}
+
+// TestQueryLargerThanEveryGraph: a query bigger than all database graphs
+// has no answers and must not crash any method.
+func TestQueryLargerThanEveryGraph(t *testing.T) {
+	fx := newFixture(t, 79, 10)
+	b := graph.NewBuilder(40, 39)
+	for i := 0; i < 40; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < 39; i++ {
+		b.AddEdge(int32(i), int32(i+1), 0)
+	}
+	q := b.MustBuild()
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	for _, r := range []Result{s.Search(q, 2), s.SearchTopoPrune(q, 2), s.SearchNaive(q, 2)} {
+		if len(r.Answers) != 0 {
+			t.Fatal("oversized query matched something")
+		}
+	}
+}

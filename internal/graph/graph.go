@@ -1,0 +1,272 @@
+// Package graph provides the labeled undirected graph type shared by every
+// PIS subsystem: the database graphs, query graphs, fragments and mined
+// feature structures are all values of this package's Graph type.
+//
+// Graphs are simple (no self loops, no parallel edges), undirected, and
+// carry integer labels plus optional float64 weights on both vertices and
+// edges. Label semantics are up to the caller: the chemistry generator uses
+// atom/bond types, the linear-distance experiments use weights only.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VLabel is a vertex label. The zero value is a valid "blank" label;
+// structure-only operations treat every vertex as if it carried zero.
+type VLabel uint16
+
+// ELabel is an edge label with the same conventions as VLabel.
+type ELabel uint16
+
+// Edge is one undirected edge of a Graph. U < V always holds after
+// normalization by the Builder.
+type Edge struct {
+	U, V   int32
+	Label  ELabel
+	Weight float64
+}
+
+// Graph is an immutable labeled undirected graph. Construct one with a
+// Builder; the zero Graph is a valid empty graph.
+type Graph struct {
+	vlabels  []VLabel
+	vweights []float64
+	edges    []Edge
+	adj      [][]int32 // adj[v] lists edge indices incident to v, ascending
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.vlabels) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// VLabelAt returns the label of vertex v.
+func (g *Graph) VLabelAt(v int) VLabel { return g.vlabels[v] }
+
+// VWeightAt returns the weight of vertex v (0 when weights are unused).
+func (g *Graph) VWeightAt(v int) float64 {
+	if g.vweights == nil {
+		return 0
+	}
+	return g.vweights[v]
+}
+
+// EdgeAt returns edge e by index.
+func (g *Graph) EdgeAt(e int) Edge { return g.edges[e] }
+
+// Edges returns the edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// IncidentEdges returns the indices of edges incident to v, ascending.
+// Callers must not modify the returned slice.
+func (g *Graph) IncidentEdges(v int) []int32 { return g.adj[v] }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Other returns the endpoint of edge e that is not v.
+func (g *Graph) Other(e int, v int32) int32 {
+	ed := g.edges[e]
+	if ed.U == v {
+		return ed.V
+	}
+	return ed.U
+}
+
+// EdgeBetween returns the index of the edge joining u and v, or -1.
+func (g *Graph) EdgeBetween(u, v int32) int {
+	if u > v {
+		u, v = v, u
+	}
+	// Scan the smaller adjacency list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, e := range g.adj[a] {
+		ed := g.edges[e]
+		if ed.U == u && ed.V == v {
+			return int(e)
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int32) bool { return g.EdgeBetween(u, v) >= 0 }
+
+// Connected reports whether the graph is connected (the empty graph and
+// single vertices are connected).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			w := g.Other(int(e), v)
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		vlabels: append([]VLabel(nil), g.vlabels...),
+		edges:   append([]Edge(nil), g.edges...),
+		adj:     make([][]int32, len(g.adj)),
+	}
+	if g.vweights != nil {
+		c.vweights = append([]float64(nil), g.vweights...)
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]int32(nil), a...)
+	}
+	return c
+}
+
+// Skeleton returns a copy of g with every vertex and edge label zeroed and
+// weights dropped. Two graphs share a structure class iff their skeletons
+// are isomorphic.
+func (g *Graph) Skeleton() *Graph {
+	c := &Graph{
+		vlabels: make([]VLabel, g.N()),
+		edges:   make([]Edge, g.M()),
+		adj:     g.adj, // adjacency is label-independent; safe to share
+	}
+	for i, e := range g.edges {
+		c.edges[i] = Edge{U: e.U, V: e.V}
+	}
+	return c
+}
+
+// String renders a compact human-readable form, stable across runs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{n=%d m=%d", g.N(), g.M())
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(&b, " v%d:%d", v, g.vlabels[v])
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, " (%d-%d:%d)", e.U, e.V, e.Label)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero Builder is ready to use.
+type Builder struct {
+	vlabels  []VLabel
+	vweights []float64
+	edges    []Edge
+	seen     map[[2]int32]bool
+	err      error
+}
+
+// NewBuilder returns a Builder expecting roughly n vertices and m edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		vlabels: make([]VLabel, 0, n),
+		edges:   make([]Edge, 0, m),
+		seen:    make(map[[2]int32]bool, m),
+	}
+}
+
+// AddVertex appends a vertex with the given label and returns its id.
+func (b *Builder) AddVertex(l VLabel) int32 {
+	b.vlabels = append(b.vlabels, l)
+	if b.vweights != nil {
+		b.vweights = append(b.vweights, 0)
+	}
+	return int32(len(b.vlabels) - 1)
+}
+
+// AddWeightedVertex appends a vertex carrying a weight.
+func (b *Builder) AddWeightedVertex(l VLabel, w float64) int32 {
+	if b.vweights == nil {
+		b.vweights = make([]float64, len(b.vlabels))
+	}
+	b.vlabels = append(b.vlabels, l)
+	b.vweights = append(b.vweights, w)
+	return int32(len(b.vlabels) - 1)
+}
+
+// AddEdge appends an undirected labeled edge. Self loops and duplicate
+// edges are recorded as errors surfaced by Build.
+func (b *Builder) AddEdge(u, v int32, l ELabel) { b.AddWeightedEdge(u, v, l, 0) }
+
+// AddWeightedEdge appends an undirected labeled weighted edge.
+func (b *Builder) AddWeightedEdge(u, v int32, l ELabel, w float64) {
+	if b.err != nil {
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self loop on vertex %d", u)
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if int(v) >= len(b.vlabels) || u < 0 {
+		b.err = fmt.Errorf("graph: edge (%d,%d) references unknown vertex", u, v)
+		return
+	}
+	key := [2]int32{u, v}
+	if b.seen == nil {
+		b.seen = map[[2]int32]bool{}
+	}
+	if b.seen[key] {
+		b.err = fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		return
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, Edge{U: u, V: v, Label: l, Weight: w})
+}
+
+// Build finalizes the graph. It returns an error for self loops, duplicate
+// edges, or dangling endpoints recorded during construction.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		vlabels:  b.vlabels,
+		vweights: b.vweights,
+		edges:    b.edges,
+		adj:      make([][]int32, len(b.vlabels)),
+	}
+	for i, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], int32(i))
+		g.adj[e.V] = append(g.adj[e.V], int32(i))
+	}
+	for _, a := range g.adj {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and literals.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,252 @@
+package graph
+
+// Fragment identifies a connected edge-subgraph of a host graph by the
+// host's edge indices. It is the unit the fragment-based index stores and
+// the unit partitions are made of.
+type Fragment struct {
+	Host  *Graph
+	Edges []int32 // ascending host edge indices
+}
+
+// Vertices returns the sorted host vertex ids touched by the fragment.
+// Fragments are small (index-sized), so dedup is a linear scan.
+func (f Fragment) Vertices() []int32 {
+	out := make([]int32, 0, len(f.Edges)+1)
+	for _, e := range f.Edges {
+		ed := f.Host.EdgeAt(int(e))
+		for _, v := range [2]int32{ed.U, ed.V} {
+			known := false
+			for _, o := range out {
+				if o == v {
+					known = true
+					break
+				}
+			}
+			if !known {
+				out = append(out, v)
+			}
+		}
+	}
+	insertionSort32(out)
+	return out
+}
+
+// Extract materializes the fragment as a standalone Graph. vmap maps the
+// new graph's vertex ids back to host vertex ids: vmap[i] is the host
+// vertex for extracted vertex i. emap does the same for edges, following
+// the order of f.Edges.
+//
+// The construction bypasses Builder validation: fragment edges come from
+// the host, so they are already loop-free, distinct, and endpoint-valid.
+func (f Fragment) Extract() (g *Graph, vmap []int32, emap []int32) {
+	verts := f.Vertices()
+	g = &Graph{
+		vlabels: make([]VLabel, len(verts)),
+		edges:   make([]Edge, len(f.Edges)),
+		adj:     make([][]int32, len(verts)),
+	}
+	if f.Host.vweights != nil {
+		g.vweights = make([]float64, len(verts))
+	}
+	back := func(hv int32) int32 {
+		for i, v := range verts {
+			if v == hv {
+				return int32(i)
+			}
+		}
+		panic("graph: fragment endpoint outside vertex set")
+	}
+	for i, hv := range verts {
+		g.vlabels[i] = f.Host.VLabelAt(int(hv))
+		if g.vweights != nil {
+			g.vweights[i] = f.Host.VWeightAt(int(hv))
+		}
+	}
+	adjBacking := make([]int32, 2*len(f.Edges))
+	for i, he := range f.Edges {
+		ed := f.Host.EdgeAt(int(he))
+		u, v := back(ed.U), back(ed.V)
+		if u > v {
+			u, v = v, u
+		}
+		g.edges[i] = Edge{U: u, V: v, Label: ed.Label, Weight: ed.Weight}
+	}
+	// Count degrees, carve adjacency slices out of one backing array, fill.
+	deg := make([]int32, len(verts))
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	off := int32(0)
+	for i, d := range deg {
+		g.adj[i] = adjBacking[off : off : off+d]
+		off += d
+	}
+	for i, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], int32(i))
+		g.adj[e.V] = append(g.adj[e.V], int32(i))
+	}
+	return g, verts, append([]int32(nil), f.Edges...)
+}
+
+// Overlaps reports whether two fragments of the same host share a vertex.
+func (f Fragment) Overlaps(o Fragment) bool {
+	a, b := f.Vertices(), o.Vertices()
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// EnumerateConnectedSubgraphs calls fn with every connected edge-subgraph
+// of g having between 1 and maxEdges edges, each exactly once. The slice
+// passed to fn is reused between calls; fn must copy it to retain it.
+// Returning false from fn stops the enumeration early.
+//
+// The algorithm is the classic "anchored growth" enumeration: every
+// subgraph is generated from its minimum edge index by extending only with
+// larger-indexed frontier edges, with an exclusion set preventing the same
+// subgraph from being reached along two different orders.
+func EnumerateConnectedSubgraphs(g *Graph, maxEdges int, fn func(edges []int32) bool) {
+	if maxEdges <= 0 || g.M() == 0 {
+		return
+	}
+	cur := make([]int32, 0, maxEdges)
+	inSub := make([]bool, g.M())
+	excluded := make([]bool, g.M())
+	vertexIn := make([]bool, g.N())
+
+	var grow func(anchor int32) bool
+	grow = func(anchor int32) bool {
+		if !fn(cur) {
+			return false
+		}
+		if len(cur) == maxEdges {
+			return true
+		}
+		// Frontier: edges incident to the current vertex set, with index
+		// greater than the anchor, not already in, not excluded.
+		var frontier []int32
+		for _, e := range cur {
+			ed := g.EdgeAt(int(e))
+			for _, end := range [2]int32{ed.U, ed.V} {
+				for _, ne := range g.IncidentEdges(int(end)) {
+					if ne > anchor && !inSub[ne] && !excluded[ne] {
+						nd := g.EdgeAt(int(ne))
+						// Must attach to the current vertex set (it does, by
+						// construction via `end`), and avoid duplicates in the
+						// frontier slice.
+						_ = nd
+						dup := false
+						for _, fe := range frontier {
+							if fe == ne {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							frontier = append(frontier, ne)
+						}
+					}
+				}
+			}
+		}
+		insertionSort32(frontier)
+		// Recurse including each frontier edge; edges considered earlier are
+		// excluded for later branches so each edge set is produced once.
+		for idx, ne := range frontier {
+			nd := g.EdgeAt(int(ne))
+			inSub[ne] = true
+			cur = append(cur, ne)
+			addedU := !vertexIn[nd.U]
+			addedV := !vertexIn[nd.V]
+			vertexIn[nd.U], vertexIn[nd.V] = true, true
+			ok := grow(anchor)
+			cur = cur[:len(cur)-1]
+			inSub[ne] = false
+			if addedU {
+				vertexIn[nd.U] = false
+			}
+			if addedV {
+				vertexIn[nd.V] = false
+			}
+			if !ok {
+				// Roll back exclusions made in this loop before unwinding.
+				for _, pe := range frontier[:idx] {
+					excluded[pe] = false
+				}
+				return false
+			}
+			excluded[ne] = true
+		}
+		for _, ne := range frontier {
+			excluded[ne] = false
+		}
+		return true
+	}
+
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeAt(e)
+		cur = append(cur[:0], int32(e))
+		inSub[e] = true
+		vertexIn[ed.U], vertexIn[ed.V] = true, true
+		ok := grow(int32(e))
+		inSub[e] = false
+		vertexIn[ed.U], vertexIn[ed.V] = false, false
+		if !ok {
+			return
+		}
+	}
+}
+
+// RandomConnectedSubgraph returns m distinct edge indices forming a
+// connected subgraph of g, grown by a uniform frontier walk driven by the
+// caller's random source, or nil when g has no connected subgraph with m
+// edges reachable from the chosen seed. intn must behave like rand.Intn.
+func RandomConnectedSubgraph(g *Graph, m int, intn func(n int) int) []int32 {
+	if m <= 0 || g.M() < m {
+		return nil
+	}
+	start := int32(intn(g.M()))
+	in := map[int32]bool{start: true}
+	edges := []int32{start}
+	for len(edges) < m {
+		var frontier []int32
+		fseen := map[int32]bool{}
+		for _, e := range edges {
+			ed := g.EdgeAt(int(e))
+			for _, end := range [2]int32{ed.U, ed.V} {
+				for _, ne := range g.IncidentEdges(int(end)) {
+					if !in[ne] && !fseen[ne] {
+						fseen[ne] = true
+						frontier = append(frontier, ne)
+					}
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			return nil
+		}
+		pick := frontier[intn(len(frontier))]
+		in[pick] = true
+		edges = append(edges, pick)
+	}
+	insertionSort32(edges)
+	return edges
+}
+
+func insertionSort32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package harness regenerates every figure of the PIS paper's evaluation
+// (§7, Figures 8-12) end to end: synthesize the screen-like database, mine
+// features, build the fragment index, sample query sets, run topoPrune and
+// PIS under the figure's parameters, bucket queries by the topoPrune
+// candidate count Yt exactly as the paper does, and render the same
+// rows/series the paper plots.
+//
+// Absolute candidate counts depend on the synthetic database scale; bucket
+// boundaries therefore scale linearly with the database size relative to
+// the paper's 10,000 graphs (a Q750 bucket at n=2,000 covers Yt in
+// [60,150), etc.). The shapes — who wins, by what factor, where the ratio
+// decays — are the reproduction targets; see EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"pis/internal/chem"
+	"pis/internal/core"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/mining"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	DBSize  int   // number of database graphs (paper: 10,000)
+	Seed    int64 // drives generation and query sampling
+	Queries int   // queries per query set (default 120)
+
+	// Index construction.
+	MaxFragmentEdges   int     // paper sweeps 4-6 (Figure 12); default 5
+	MinFragmentEdges   int     // smallest indexed structure; default 2
+	MinSupportFraction float64 // feature min support; default 0.05
+	MiningSample       int     // graphs mined for features; default 300
+	Gamma              float64 // discriminative ratio; 0 disables
+
+	// Search options shared by figures unless the figure sweeps them.
+	Lambda     float64
+	PartitionK int
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.DBSize <= 0 {
+		c.DBSize = 2000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 120
+	}
+	if c.MaxFragmentEdges <= 0 {
+		c.MaxFragmentEdges = 5
+	}
+	if c.MinFragmentEdges <= 0 {
+		c.MinFragmentEdges = 2
+	}
+	if c.MinSupportFraction <= 0 {
+		c.MinSupportFraction = 0.05
+	}
+	if c.MiningSample <= 0 {
+		c.MiningSample = 300
+	}
+	return c
+}
+
+// Env is a built experiment environment: database plus one index.
+type Env struct {
+	Config   Config
+	DB       []*graph.Graph
+	Features []mining.Feature
+	Index    *index.Index
+	BuildDur time.Duration
+}
+
+// BuildEnv generates the database and builds the index once; figures share
+// it (except Figure 12, which rebuilds with different fragment sizes).
+func BuildEnv(cfg Config) (*Env, error) {
+	cfg = cfg.normalized()
+	start := time.Now()
+	db := chem.Generate(cfg.DBSize, chem.Config{Seed: cfg.Seed})
+	feats, err := mining.Mine(db, mining.Options{
+		MaxEdges:           cfg.MaxFragmentEdges,
+		MinEdges:           cfg.MinFragmentEdges,
+		MinSupportFraction: cfg.MinSupportFraction,
+		SampleSize:         cfg.MiningSample,
+		Gamma:              cfg.Gamma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := index.BuildParallel(db, feats, index.Options{
+		Kind:   index.TrieIndex,
+		Metric: distance.EdgeMutation{},
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Config: cfg, DB: db, Features: feats, Index: idx, BuildDur: time.Since(start)}, nil
+}
+
+// Bucket is one Yt query group of the paper.
+type Bucket struct {
+	Name   string
+	Lo, Hi int // Yt in [Lo, Hi), at the paper's 10,000-graph scale
+}
+
+// PaperBuckets are the six groups of §7: Q<300 ... Q>5k.
+var PaperBuckets = []Bucket{
+	{"Q<300", 0, 300},
+	{"Q750", 300, 750},
+	{"Q1.5k", 750, 1500},
+	{"Q3k", 1500, 3000},
+	{"Q5k", 3000, 5000},
+	{"Q>5k", 5000, 10001},
+}
+
+// bucketOf assigns a Yt count to a paper bucket, scaling boundaries to the
+// actual database size.
+func bucketOf(yt, dbSize int) int {
+	scale := float64(dbSize) / 10000.0
+	for i, b := range PaperBuckets {
+		lo := int(math.Round(float64(b.Lo) * scale))
+		hi := int(math.Round(float64(b.Hi) * scale))
+		if yt >= lo && yt < hi {
+			return i
+		}
+	}
+	return len(PaperBuckets) - 1
+}
+
+// Figure is a rendered experiment: one row per bucket, one value column
+// per series.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []string
+	Rows   []Row
+	Notes  []string
+}
+
+// Row is one bucket's aggregated results.
+type Row struct {
+	Bucket  string
+	Queries int
+	Values  []float64 // aligned with Figure.Series; NaN when empty
+}
+
+// Render prints the figure as an aligned text table.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	header := append([]string{"bucket", "#q"}, f.Series...)
+	widths := make([]int, len(header))
+	cells := [][]string{header}
+	for _, r := range f.Rows {
+		row := []string{r.Bucket, fmt.Sprintf("%d", r.Queries)}
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range cells {
+		var b strings.Builder
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(b.String(), " "))))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// variant is one PIS configuration to measure against topoPrune.
+type variant struct {
+	name  string
+	sigma float64
+	opts  core.Options
+}
+
+// measurement accumulates per-bucket sums.
+type measurement struct {
+	queries int
+	topoSum float64
+	pisSum  []float64
+	filter  time.Duration
+}
+
+// runBuckets executes the shared experiment loop: per query, Yt from
+// topoPrune and Yp per variant, bucketed by Yt.
+func runBuckets(env *Env, queries []*graph.Graph, variants []variant) []measurement {
+	base := core.NewSearcher(env.DB, env.Index, core.Options{SkipVerification: true})
+	searchers := make([]*core.Searcher, len(variants))
+	for i, v := range variants {
+		o := v.opts
+		o.SkipVerification = true
+		searchers[i] = core.NewSearcher(env.DB, env.Index, o)
+	}
+	ms := make([]measurement, len(PaperBuckets))
+	for i := range ms {
+		ms[i].pisSum = make([]float64, len(variants))
+	}
+	for _, q := range queries {
+		topo := base.SearchTopoPrune(q, 0)
+		yt := topo.Stats.StructCandidates
+		bi := bucketOf(yt, env.Config.DBSize)
+		ms[bi].queries++
+		ms[bi].topoSum += float64(yt)
+		for vi, v := range variants {
+			r := searchers[vi].Search(q, v.sigma)
+			ms[bi].pisSum[vi] += float64(r.Stats.DistCandidates)
+			ms[bi].filter += r.Stats.FilterTime
+		}
+	}
+	return ms
+}
+
+// candidateFigure renders absolute candidate counts (Figure 8 style).
+func candidateFigure(id, title string, env *Env, ms []measurement, variants []variant) Figure {
+	f := Figure{ID: id, Title: title, Series: []string{"topoPrune"}}
+	for _, v := range variants {
+		f.Series = append(f.Series, v.name)
+	}
+	for bi, b := range PaperBuckets {
+		m := ms[bi]
+		row := Row{Bucket: b.Name, Queries: m.queries}
+		if m.queries == 0 {
+			for range f.Series {
+				row.Values = append(row.Values, math.NaN())
+			}
+		} else {
+			row.Values = append(row.Values, m.topoSum/float64(m.queries))
+			for vi := range variants {
+				row.Values = append(row.Values, m.pisSum[vi]/float64(m.queries))
+			}
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("db=%d graphs, %d features, buckets scaled by n/10000",
+		env.Config.DBSize, len(env.Features)))
+	return f
+}
+
+// ratioFigure renders reduction ratios Yt/Yp (Figures 9-12 style).
+func ratioFigure(id, title string, env *Env, ms []measurement, variants []variant) Figure {
+	f := Figure{ID: id, Title: title}
+	for _, v := range variants {
+		f.Series = append(f.Series, v.name)
+	}
+	for bi, b := range PaperBuckets {
+		m := ms[bi]
+		row := Row{Bucket: b.Name, Queries: m.queries}
+		for vi := range variants {
+			if m.queries == 0 || m.pisSum[vi] == 0 {
+				if m.queries == 0 {
+					row.Values = append(row.Values, math.NaN())
+				} else {
+					// All candidates pruned: report the max finite ratio.
+					row.Values = append(row.Values, m.topoSum)
+				}
+				continue
+			}
+			row.Values = append(row.Values, m.topoSum/m.pisSum[vi])
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("db=%d graphs, %d features, buckets scaled by n/10000",
+		env.Config.DBSize, len(env.Features)))
+	return f
+}
+
+// Figure8 — candidate counts for Q16, topoPrune vs PIS at σ=1,2,4.
+func Figure8(env *Env) Figure {
+	qs := chem.SampleQueries(env.DB, env.Config.Queries, 16, env.Config.Seed+1)
+	vars := sigmaVariants(env.Config, 1, 2, 4)
+	ms := runBuckets(env, qs, vars)
+	return candidateFigure("Figure 8", "Structure Query with 16 edges (avg candidates)", env, ms, vars)
+}
+
+// Figure9 — reduction ratio for Q16 at σ=1,2,4.
+func Figure9(env *Env) Figure {
+	qs := chem.SampleQueries(env.DB, env.Config.Queries, 16, env.Config.Seed+1)
+	vars := sigmaVariants(env.Config, 1, 2, 4)
+	ms := runBuckets(env, qs, vars)
+	return ratioFigure("Figure 9", "Reduction: PIS over topoPrune, Q16", env, ms, vars)
+}
+
+// Figure10 — reduction ratio for Q24 at σ=1,3,5.
+func Figure10(env *Env) Figure {
+	qs := chem.SampleQueries(env.DB, env.Config.Queries, 24, env.Config.Seed+2)
+	vars := sigmaVariants(env.Config, 1, 3, 5)
+	ms := runBuckets(env, qs, vars)
+	return ratioFigure("Figure 10", "Structure Query with 24 edges (reduction ratio)", env, ms, vars)
+}
+
+// Figure11 — cutoff sensitivity: λ ∈ {0.5, 1, 2} at σ=2, Q16.
+func Figure11(env *Env) Figure {
+	qs := chem.SampleQueries(env.DB, env.Config.Queries, 16, env.Config.Seed+1)
+	var vars []variant
+	for _, lambda := range []float64{0.5, 1, 2} {
+		vars = append(vars, variant{
+			name:  fmt.Sprintf("PIS λ=%g", lambda),
+			sigma: 2,
+			opts:  core.Options{Lambda: lambda, PartitionK: env.Config.PartitionK},
+		})
+	}
+	ms := runBuckets(env, qs, vars)
+	return ratioFigure("Figure 11", "Cutoff Value Sensitivity (σ=2, Q16)", env, ms, vars)
+}
+
+// Figure12 — pruning vs maximum indexed fragment size ∈ {4,5,6}, σ=2, Q16.
+// Each size gets its own index; queries and bucketing use each index's own
+// topoPrune filter, which is how the paper's per-size curves are read.
+func Figure12(cfg Config) (Figure, error) {
+	cfg = cfg.normalized()
+	qsSeed := cfg.Seed + 1
+	f := Figure{ID: "Figure 12", Title: "Performance vs. Fragment Size (σ=2, Q16)"}
+	sizes := []int{4, 5, 6}
+	type bucketAgg struct {
+		queries int
+		ratio   []float64 // per size: sum of Yt, Yp handled below
+		topo    []float64
+		pis     []float64
+	}
+	aggs := make([]bucketAgg, len(PaperBuckets))
+	for i := range aggs {
+		aggs[i] = bucketAgg{topo: make([]float64, len(sizes)), pis: make([]float64, len(sizes)),
+			ratio: make([]float64, len(sizes))}
+	}
+	var refEnv *Env
+	queriesPerBucket := make([][]int, len(sizes))
+	for si, size := range sizes {
+		c := cfg
+		c.MaxFragmentEdges = size
+		env, err := BuildEnv(c)
+		if err != nil {
+			return Figure{}, err
+		}
+		if refEnv == nil {
+			refEnv = env
+		}
+		qs := chem.SampleQueries(env.DB, c.Queries, 16, qsSeed)
+		vars := []variant{{
+			name:  fmt.Sprintf("PIS size=%d", size),
+			sigma: 2,
+			opts:  core.Options{Lambda: cfg.Lambda, PartitionK: cfg.PartitionK},
+		}}
+		ms := runBuckets(env, qs, vars)
+		queriesPerBucket[si] = make([]int, len(PaperBuckets))
+		for bi := range ms {
+			aggs[bi].topo[si] += ms[bi].topoSum
+			aggs[bi].pis[si] += ms[bi].pisSum[0]
+			queriesPerBucket[si][bi] = ms[bi].queries
+		}
+		f.Series = append(f.Series, fmt.Sprintf("PIS size=%d", size))
+	}
+	for bi, b := range PaperBuckets {
+		row := Row{Bucket: b.Name, Queries: queriesPerBucket[len(sizes)-1][bi]}
+		for si := range sizes {
+			if aggs[bi].pis[si] == 0 {
+				if aggs[bi].topo[si] == 0 {
+					row.Values = append(row.Values, math.NaN())
+				} else {
+					row.Values = append(row.Values, aggs[bi].topo[si])
+				}
+				continue
+			}
+			row.Values = append(row.Values, aggs[bi].topo[si]/aggs[bi].pis[si])
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("db=%d graphs; one index per max fragment size; ratio vs own topoPrune", cfg.DBSize))
+	return f, nil
+}
+
+func sigmaVariants(cfg Config, sigmas ...float64) []variant {
+	var out []variant
+	for _, s := range sigmas {
+		out = append(out, variant{
+			name:  fmt.Sprintf("PIS σ=%g", s),
+			sigma: s,
+			opts:  core.Options{Lambda: cfg.Lambda, PartitionK: cfg.PartitionK},
+		})
+	}
+	return out
+}
+
+// FilterTiming measures the paper's "pruning takes < 1 s per query" claim:
+// average PIS filter time over a query set.
+func FilterTiming(env *Env, queryEdges int, sigma float64) (time.Duration, int) {
+	qs := chem.SampleQueries(env.DB, env.Config.Queries, queryEdges, env.Config.Seed+3)
+	s := core.NewSearcher(env.DB, env.Index, core.Options{SkipVerification: true,
+		Lambda: env.Config.Lambda, PartitionK: env.Config.PartitionK})
+	var total time.Duration
+	for _, q := range qs {
+		r := s.Search(q, sigma)
+		total += r.Stats.FilterTime
+	}
+	return total / time.Duration(len(qs)), len(qs)
+}

@@ -1,0 +1,81 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/chem"
+	"pis/internal/distance"
+	"pis/internal/mining"
+)
+
+// Ablation: trie vs VP-tree as the per-class index for mutation distance
+// (DESIGN.md §7). Both answer identical range queries; the trie exploits
+// the per-position structure of the cost, the VP-tree only the metric
+// axioms.
+
+func buildAblation(b *testing.B, kind Kind) (*Index, []QueryFragment) {
+	b.Helper()
+	db := chem.Generate(400, chem.Config{Seed: 9})
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 4, MinEdges: 2, MinSupportFraction: 0.05, SampleSize: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := Build(db, feats, Options{Kind: kind, Metric: distance.EdgeMutation{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var qfs []QueryFragment
+	for len(qfs) < 64 {
+		q := db[rng.Intn(len(db))]
+		fs := x.QueryFragments(q)
+		if len(fs) > 0 {
+			qfs = append(qfs, fs[rng.Intn(len(fs))])
+		}
+	}
+	return x, qfs
+}
+
+func benchClassIndex(b *testing.B, kind Kind, sigma float64) {
+	x, qfs := buildAblation(b, kind)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.RangeQuery(qfs[i%len(qfs)], sigma)
+	}
+}
+
+func BenchmarkClassIndexTrieSigma1(b *testing.B)   { benchClassIndex(b, TrieIndex, 1) }
+func BenchmarkClassIndexTrieSigma4(b *testing.B)   { benchClassIndex(b, TrieIndex, 4) }
+func BenchmarkClassIndexVPTreeSigma1(b *testing.B) { benchClassIndex(b, VPTreeIndex, 1) }
+func BenchmarkClassIndexVPTreeSigma4(b *testing.B) { benchClassIndex(b, VPTreeIndex, 4) }
+
+// BenchmarkBuildSerialVsParallel quantifies the parallel build speedup.
+func BenchmarkBuildSerial(b *testing.B) {
+	db := chem.Generate(150, chem.Config{Seed: 2})
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 4, MinEdges: 2, MinSupportFraction: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(db, feats, Options{Kind: TrieIndex, Metric: distance.EdgeMutation{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	db := chem.Generate(150, chem.Config{Seed: 2})
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 4, MinEdges: 2, MinSupportFraction: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildParallel(db, feats, Options{Kind: TrieIndex, Metric: distance.EdgeMutation{}}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package index implements the fragment-based index of the PIS paper (§4):
+// a hash table from canonical structure codes to per-class indexes that
+// answer the range query d(g, g') <= σ over the labeled fragments of one
+// structural equivalence class.
+//
+// Three per-class index kinds mirror Figure 5 of the paper: a trie over
+// canonical label sequences (mutation distance), an R-tree over weight
+// vectors (linear mutation distance), and a VP-tree under the exact
+// fragment metric (any measure).
+//
+// Sequence alignment and superposition minimization both come from
+// canonical DFS codes: the labels of a fragment are laid out along the
+// class code's vertex and edge order, and the class's automorphism
+// permutations generate every superposition variant. Storing one canonical
+// representative per fragment and probing with every variant of the query
+// fragment yields exactly min over superpositions (see DESIGN.md §3).
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"pis/internal/canon"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/mining"
+	"pis/internal/rtree"
+	"pis/internal/trie"
+	"pis/internal/vptree"
+)
+
+// Kind selects the per-class index structure.
+type Kind int
+
+const (
+	// TrieIndex stores canonical label sequences in a trie (mutation
+	// distance; the paper's default for categorical labels).
+	TrieIndex Kind = iota
+	// RTreeIndex stores weight vectors in an R-tree (linear mutation
+	// distance over numeric weights).
+	RTreeIndex
+	// VPTreeIndex stores label sequences in a vantage-point tree under the
+	// exact class metric (any measure; the "metric-based index" option).
+	VPTreeIndex
+)
+
+func (k Kind) String() string {
+	switch k {
+	case TrieIndex:
+		return "trie"
+	case RTreeIndex:
+		return "rtree"
+	case VPTreeIndex:
+		return "vptree"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Options configures index construction.
+type Options struct {
+	Kind   Kind
+	Metric distance.Metric
+	// MaxFragmentEdges bounds the fragments enumerated from database
+	// graphs; it defaults to the largest feature size.
+	MaxFragmentEdges int
+}
+
+// Class is one structural equivalence class [f].
+type Class struct {
+	ID        int
+	Key       string
+	Code      canon.Code
+	Structure *graph.Graph // canonical skeleton; vertex k = DFS id k
+	NumV      int
+	NumE      int
+	// vOff is the number of vertex positions included in sequences: NumV
+	// normally, 0 when the metric declares itself vertex-blind (vertex
+	// positions would never contribute cost, only trie fan-out).
+	vOff int
+
+	// perms are the automorphism-induced position permutations over the
+	// combined (vertex labels ++ edge labels) sequence.
+	perms [][]int
+
+	trie  *trie.Trie
+	vpSeq [][]uint32 // VPTreeIndex: stored sequences
+	vpIDs []int32    // VPTreeIndex: graph id per stored sequence
+	vp    *vptree.Tree
+	rt    *rtree.Tree
+	rtEnt []rtree.Entry // staging for bulk load
+
+	postings  []int32 // sorted unique graph ids containing the structure
+	fragments int     // total fragment occurrences folded in
+}
+
+// SeqLen returns the class sequence length: included vertex positions
+// plus edge positions.
+func (c *Class) SeqLen() int { return c.vOff + c.NumE }
+
+// Postings returns the sorted graph ids containing this structure.
+// Callers must not modify the slice.
+func (c *Class) Postings() []int32 { return c.postings }
+
+// Fragments returns the number of fragment occurrences inserted.
+func (c *Class) Fragments() int { return c.fragments }
+
+// Index is the fragment-based index over one graph database.
+type Index struct {
+	opts    Options
+	classes map[string]*Class
+	list    []*Class
+	dbSize  int
+}
+
+// Classes returns all classes ordered by ID.
+func (x *Index) Classes() []*Class { return x.list }
+
+// Lookup returns the class for a structure key, or nil.
+func (x *Index) Lookup(key string) *Class { return x.classes[key] }
+
+// DBSize returns the number of graphs the index was built over.
+func (x *Index) DBSize() int { return x.dbSize }
+
+// Options returns the construction options.
+func (x *Index) Options() Options { return x.opts }
+
+// MaxFragmentEdges returns the largest indexed structure size.
+func (x *Index) MaxFragmentEdges() int { return x.opts.MaxFragmentEdges }
+
+// Build constructs the index: every fragment of every database graph whose
+// skeleton matches a feature is folded into that feature's class index.
+func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, error) {
+	if opts.Metric == nil {
+		return nil, fmt.Errorf("index: Metric is required")
+	}
+	if len(features) == 0 {
+		return nil, fmt.Errorf("index: no features")
+	}
+	maxE := 0
+	for _, f := range features {
+		if f.Edges > maxE {
+			maxE = f.Edges
+		}
+	}
+	if opts.MaxFragmentEdges <= 0 || opts.MaxFragmentEdges > maxE {
+		opts.MaxFragmentEdges = maxE
+	}
+
+	x := &Index{opts: opts, classes: make(map[string]*Class, len(features)), dbSize: len(db)}
+	for _, f := range features {
+		if f.Edges > opts.MaxFragmentEdges {
+			continue
+		}
+		cg := f.Graph
+		if cg == nil {
+			cg = f.Code.Graph()
+		}
+		_, embs := canon.MinCodeUnlabeled(cg) // automorphisms of the canonical skeleton
+		c := &Class{
+			ID:        len(x.list),
+			Key:       f.Key,
+			Code:      f.Code,
+			Structure: cg,
+			NumV:      cg.N(),
+			NumE:      cg.M(),
+		}
+		if !distance.IgnoresVertices(opts.Metric) {
+			c.vOff = c.NumV
+		}
+		for _, a := range embs {
+			p := make([]int, c.SeqLen())
+			for k := 0; k < c.vOff; k++ {
+				p[k] = int(a.Vertices[k])
+			}
+			for t := 0; t < c.NumE; t++ {
+				p[c.vOff+t] = c.vOff + int(a.Edges[t])
+			}
+			c.perms = append(c.perms, p)
+		}
+		switch opts.Kind {
+		case TrieIndex:
+			c.trie = trie.New(c.SeqLen())
+		case RTreeIndex:
+			// Vector layout mirrors the sequence: vertex weights then edge
+			// weights along canonical order.
+			c.rt = nil // bulk-loaded in finalize
+		case VPTreeIndex:
+			// built in finalize
+		}
+		x.classes[f.Key] = c
+		x.list = append(x.list, c)
+	}
+
+	for id, g := range db {
+		x.insertGraph(int32(id), g)
+	}
+	x.finalize()
+	return x, nil
+}
+
+// insertGraph folds every indexed fragment of g into the class indexes.
+func (x *Index) insertGraph(id int32, g *graph.Graph) {
+	graph.EnumerateConnectedSubgraphs(g, x.opts.MaxFragmentEdges, func(edges []int32) bool {
+		frag := graph.Fragment{Host: g, Edges: edges}
+		sub, _, _ := frag.Extract()
+		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		c := x.classes[code.Key()]
+		if c == nil {
+			return true
+		}
+		c.fragments++
+		if n := len(c.postings); n == 0 || c.postings[n-1] != id {
+			c.postings = append(c.postings, id) // ids arrive ascending
+		}
+		emb := embs[0]
+		switch x.opts.Kind {
+		case TrieIndex:
+			c.trie.Insert(c.canonicalVariant(fragmentSequence(sub, c, emb)), id)
+		case VPTreeIndex:
+			c.vpSeq = append(c.vpSeq, c.canonicalVariant(fragmentSequence(sub, c, emb)))
+			c.vpIDs = append(c.vpIDs, id)
+		case RTreeIndex:
+			c.rtEnt = append(c.rtEnt, rtree.Entry{Point: fragmentWeights(sub, c, emb), Data: id})
+		}
+		return true
+	})
+}
+
+// finalize builds the bulk-loaded per-class structures.
+func (x *Index) finalize() {
+	for _, c := range x.list {
+		switch x.opts.Kind {
+		case RTreeIndex:
+			c.rt = rtree.BulkLoad(c.SeqLen(), c.rtEnt)
+			c.rtEnt = nil
+		case VPTreeIndex:
+			items := make([]int32, len(c.vpSeq))
+			for i := range items {
+				items[i] = int32(i)
+			}
+			cc := c
+			c.vp = vptree.Build(items, func(a, b int32) float64 {
+				return cc.orbitDistance(cc.vpSeq[a], cc.vpSeq[b], x.opts.Metric)
+			})
+		}
+	}
+}
+
+// canonicalVariant returns the lexicographically smallest automorphism
+// variant of seq, the stored representative.
+func (c *Class) canonicalVariant(seq []uint32) []uint32 {
+	best := seq
+	tmp := make([]uint32, len(seq))
+	for _, p := range c.perms {
+		for i, src := range p {
+			tmp[i] = seq[src]
+		}
+		if lessSeq(tmp, best) {
+			best = append([]uint32(nil), tmp...)
+		}
+	}
+	if sameSlice(best, seq) {
+		return append([]uint32(nil), seq...)
+	}
+	return best
+}
+
+// Variants returns every distinct automorphism variant of seq, used to
+// probe the class index with a query fragment.
+func (c *Class) Variants(seq []uint32) [][]uint32 {
+	seen := map[string]bool{}
+	var out [][]uint32
+	tmp := make([]uint32, len(seq))
+	for _, p := range c.perms {
+		for i, src := range p {
+			tmp[i] = seq[src]
+		}
+		k := seqKey(tmp)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, append([]uint32(nil), tmp...))
+		}
+	}
+	return out
+}
+
+// orbitDistance is the exact fragment distance between two stored
+// sequences: min over automorphism variants of the per-position cost.
+func (c *Class) orbitDistance(a, b []uint32, m distance.Metric) float64 {
+	best := distance.Infinite
+	tmp := make([]uint32, len(a))
+	for _, p := range c.perms {
+		for i, src := range p {
+			tmp[i] = a[src]
+		}
+		d := 0.0
+		for i := range tmp {
+			d += c.positionCost(m, i, tmp[i], b[i])
+			if d >= best {
+				break
+			}
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// positionCost prices substituting symbol a with b at sequence position i.
+func (c *Class) positionCost(m distance.Metric, i int, a, b uint32) float64 {
+	if i < c.vOff {
+		return m.VertexCost(graph.VLabel(a), 0, graph.VLabel(b), 0)
+	}
+	return m.EdgeCost(graph.ELabel(a), 0, graph.ELabel(b), 0)
+}
+
+func lessSeq(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func sameSlice(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seqKey(seq []uint32) string {
+	b := make([]byte, len(seq)*2)
+	for i, s := range seq {
+		b[2*i] = byte(s)
+		b[2*i+1] = byte(s >> 8)
+	}
+	return string(b)
+}
+
+// QueryFragment is one indexed fragment occurrence inside a query graph.
+type QueryFragment struct {
+	Class    *Class
+	Edges    []int32 // query edge indices
+	Vertices []int32 // query vertex indices (sorted)
+	Seq      []uint32
+	Vec      []float64
+}
+
+// QueryFragments enumerates the indexed fragments of q (Alg. 2 lines 3-4).
+func (x *Index) QueryFragments(q *graph.Graph) []QueryFragment {
+	var out []QueryFragment
+	graph.EnumerateConnectedSubgraphs(q, x.opts.MaxFragmentEdges, func(edges []int32) bool {
+		ecopy := append([]int32(nil), edges...)
+		sort.Slice(ecopy, func(i, j int) bool { return ecopy[i] < ecopy[j] })
+		frag := graph.Fragment{Host: q, Edges: ecopy}
+		sub, _, _ := frag.Extract()
+		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		c := x.classes[code.Key()]
+		if c == nil {
+			return true
+		}
+		qf := QueryFragment{Class: c, Edges: ecopy, Vertices: frag.Vertices()}
+		emb := embs[0]
+		switch x.opts.Kind {
+		case TrieIndex, VPTreeIndex:
+			qf.Seq = fragmentSequence(sub, c, emb)
+		case RTreeIndex:
+			qf.Vec = fragmentWeights(sub, c, emb)
+		}
+		out = append(out, qf)
+		return true
+	})
+	return out
+}
+
+// fragmentSequence reads the extracted fragment's labels along the class
+// code order for one canonical embedding.
+func fragmentSequence(sub *graph.Graph, c *Class, emb canon.Embedding) []uint32 {
+	seq := make([]uint32, c.SeqLen())
+	for k := 0; k < c.vOff; k++ {
+		seq[k] = uint32(sub.VLabelAt(int(emb.Vertices[k])))
+	}
+	for t := 0; t < c.NumE; t++ {
+		seq[c.vOff+t] = uint32(sub.EdgeAt(int(emb.Edges[t])).Label)
+	}
+	return seq
+}
+
+// fragmentWeights reads the extracted fragment's weights along the class
+// code order for one canonical embedding.
+func fragmentWeights(sub *graph.Graph, c *Class, emb canon.Embedding) []float64 {
+	vec := make([]float64, c.SeqLen())
+	for k := 0; k < c.vOff; k++ {
+		vec[k] = sub.VWeightAt(int(emb.Vertices[k]))
+	}
+	for t := 0; t < c.NumE; t++ {
+		vec[c.vOff+t] = sub.EdgeAt(int(emb.Edges[t])).Weight
+	}
+	return vec
+}
+
+// RangeQuery answers d(g, G) <= sigma for one query fragment: it returns
+// the minimum fragment distance per graph id over every superposition
+// (Eq. 3 of the paper). Graphs without any in-range fragment are absent.
+func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
+	c := qf.Class
+	out := make(map[int32]float64)
+	record := func(id int32, d float64) {
+		if prev, ok := out[id]; !ok || d < prev {
+			out[id] = d
+		}
+	}
+	switch x.opts.Kind {
+	case TrieIndex:
+		cost := func(pos int, a, b uint32) float64 { return c.positionCost(x.opts.Metric, pos, a, b) }
+		for _, variant := range c.Variants(qf.Seq) {
+			c.trie.Range(variant, sigma, cost, func(d float64, graphs []int32) bool {
+				for _, id := range graphs {
+					record(id, d)
+				}
+				return true
+			})
+		}
+	case VPTreeIndex:
+		cc := c
+		c.vp.Range(func(item int32) float64 {
+			return cc.orbitDistance(qf.Seq, cc.vpSeq[item], x.opts.Metric)
+		}, sigma, func(item int32, d float64) bool {
+			record(c.vpIDs[item], d)
+			return true
+		})
+	case RTreeIndex:
+		for _, p := range c.perms {
+			variant := make([]float64, len(qf.Vec))
+			for i, src := range p {
+				variant[i] = qf.Vec[src]
+			}
+			c.rt.SearchL1(variant, sigma, func(e rtree.Entry, d float64) bool {
+				record(e.Data, d)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// Stats summarizes the index for reporting.
+type Stats struct {
+	Classes   int
+	Fragments int
+	Sequences int
+	Postings  int
+}
+
+// Stats computes summary statistics.
+func (x *Index) Stats() Stats {
+	s := Stats{Classes: len(x.list)}
+	for _, c := range x.list {
+		s.Fragments += c.fragments
+		s.Postings += len(c.postings)
+		if c.trie != nil {
+			s.Sequences += c.trie.Sequences()
+		}
+		if c.vpSeq != nil {
+			s.Sequences += len(c.vpSeq)
+		}
+		if c.rt != nil {
+			s.Sequences += c.rt.Len()
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+// Parallel index construction. Fragment enumeration and canonicalization
+// dominate Build; graphs are independent, so a worker pool computes each
+// graph's insert operations and a sequencer applies them in graph-id order.
+// Sequenced application keeps the result bit-identical to the serial build
+// (postings dedup relies on ascending ids, and tries are order-insensitive
+// but their stats are easier to reason about deterministically).
+
+package index
+
+import (
+	"runtime"
+	"sync"
+
+	"pis/internal/canon"
+	"pis/internal/graph"
+	"pis/internal/mining"
+	"pis/internal/rtree"
+)
+
+// insertOp is one fragment ready to fold into a class.
+type insertOp struct {
+	class *Class
+	seq   []uint32
+	vec   []float64
+}
+
+// BuildParallel is Build with a worker pool; workers <= 0 uses GOMAXPROCS.
+// The result is identical to Build's on the same inputs.
+func BuildParallel(db []*graph.Graph, features []mining.Feature, opts Options, workers int) (*Index, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(db) < 2*workers {
+		return Build(db, features, opts)
+	}
+	// Set up classes exactly as Build does, without scanning.
+	x, err := Build(nil, features, opts)
+	if err != nil {
+		return nil, err
+	}
+	x.dbSize = len(db)
+
+	type result struct {
+		id  int32
+		ops []insertOp
+	}
+	jobs := make(chan int32, workers)
+	results := make(chan result, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				results <- result{id: id, ops: x.computeOps(db[id])}
+			}
+		}()
+	}
+	go func() {
+		for id := int32(0); id < int32(len(db)); id++ {
+			jobs <- id
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Sequencer: apply op batches in ascending graph id.
+	pending := make(map[int32][]insertOp)
+	next := int32(0)
+	apply := func(id int32, ops []insertOp) {
+		for _, op := range ops {
+			c := op.class
+			c.fragments++
+			if n := len(c.postings); n == 0 || c.postings[n-1] != id {
+				c.postings = append(c.postings, id)
+			}
+			switch x.opts.Kind {
+			case TrieIndex:
+				c.trie.Insert(op.seq, id)
+			case VPTreeIndex:
+				c.vpSeq = append(c.vpSeq, op.seq)
+				c.vpIDs = append(c.vpIDs, id)
+			case RTreeIndex:
+				c.rtEnt = append(c.rtEnt, rtree.Entry{Point: op.vec, Data: id})
+			}
+		}
+	}
+	for res := range results {
+		pending[res.id] = res.ops
+		for {
+			ops, ok := pending[next]
+			if !ok {
+				break
+			}
+			apply(next, ops)
+			delete(pending, next)
+			next++
+		}
+	}
+	for ; next < int32(len(db)); next++ {
+		if ops, ok := pending[next]; ok {
+			apply(next, ops)
+		}
+	}
+	x.finalize()
+	return x, nil
+}
+
+// computeOps runs the read-only part of insertGraph: enumerate, extract,
+// canonicalize, and lay out sequences — everything except mutating the
+// shared class structures.
+func (x *Index) computeOps(g *graph.Graph) []insertOp {
+	var ops []insertOp
+	graph.EnumerateConnectedSubgraphs(g, x.opts.MaxFragmentEdges, func(edges []int32) bool {
+		frag := graph.Fragment{Host: g, Edges: edges}
+		sub, _, _ := frag.Extract()
+		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		c := x.classes[code.Key()]
+		if c == nil {
+			return true
+		}
+		op := insertOp{class: c}
+		emb := embs[0]
+		switch x.opts.Kind {
+		case TrieIndex, VPTreeIndex:
+			op.seq = c.canonicalVariant(fragmentSequence(sub, c, emb))
+		case RTreeIndex:
+			op.vec = fragmentWeights(sub, c, emb)
+		}
+		ops = append(ops, op)
+		return true
+	})
+	return ops
+}

@@ -1,0 +1,190 @@
+// Index persistence. The expensive part of PIS is enumerating and
+// canonicalizing every database fragment; Save captures the result so a
+// process restart costs a deserialize instead of a rebuild. The format is
+// a gob stream of plain data-transfer structs (stdlib only); automorphism
+// permutations and the bulk-loaded R-tree/VP-tree shapes are cheap to
+// recompute and are rebuilt on Load.
+
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pis/internal/canon"
+	"pis/internal/distance"
+	"pis/internal/rtree"
+	"pis/internal/trie"
+)
+
+// persistMagic identifies the stream and its schema version.
+const persistMagic = "PIS-INDEX-v1"
+
+// dto types: exported fields only, no behavior.
+type persistEntry struct {
+	Seq    []uint32  // trie / vptree sequence
+	Point  []float64 // rtree vector
+	Graphs []int32   // postings (trie) or single graph (vptree/rtree)
+}
+
+type persistClass struct {
+	Key       string
+	Code      []canon.Tuple
+	VOff      int
+	Postings  []int32
+	Fragments int
+	Entries   []persistEntry
+}
+
+type persistIndex struct {
+	Magic            string
+	Kind             int
+	MaxFragmentEdges int
+	DBSize           int
+	VertexBlind      bool
+	Classes          []persistClass
+}
+
+// Save writes the index to w. The metric itself is not serialized — the
+// caller supplies an equivalent metric to Load — but its vertex-blindness
+// is recorded and checked, since it changes the stored sequence layout.
+func (x *Index) Save(w io.Writer) error {
+	p := persistIndex{
+		Magic:            persistMagic,
+		Kind:             int(x.opts.Kind),
+		MaxFragmentEdges: x.opts.MaxFragmentEdges,
+		DBSize:           x.dbSize,
+		VertexBlind:      distance.IgnoresVertices(x.opts.Metric),
+	}
+	for _, c := range x.list {
+		pc := persistClass{
+			Key:       c.Key,
+			Code:      c.Code,
+			VOff:      c.vOff,
+			Postings:  c.postings,
+			Fragments: c.fragments,
+		}
+		switch x.opts.Kind {
+		case TrieIndex:
+			c.trie.Walk(func(seq []uint32, graphs []int32) {
+				pc.Entries = append(pc.Entries, persistEntry{
+					Seq:    append([]uint32(nil), seq...),
+					Graphs: graphs,
+				})
+			})
+		case VPTreeIndex:
+			for i, seq := range c.vpSeq {
+				pc.Entries = append(pc.Entries, persistEntry{
+					Seq:    seq,
+					Graphs: []int32{c.vpIDs[i]},
+				})
+			}
+		case RTreeIndex:
+			c.rt.SearchRect(boundAll(c.rt.Dim()), func(e rtree.Entry) bool {
+				pc.Entries = append(pc.Entries, persistEntry{
+					Point:  e.Point,
+					Graphs: []int32{e.Data},
+				})
+				return true
+			})
+		}
+		p.Classes = append(p.Classes, pc)
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+func boundAll(dim int) rtree.Rect {
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for i := range min {
+		min[i] = -1e300
+		max[i] = 1e300
+	}
+	return rtree.Rect{Min: min, Max: max}
+}
+
+// Load reconstructs an index written by Save. The metric must match the
+// one used at build time (at minimum its vertex-blindness must agree).
+func Load(r io.Reader, metric distance.Metric) (*Index, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("index: Metric is required")
+	}
+	var p persistIndex
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: decoding: %w", err)
+	}
+	if p.Magic != persistMagic {
+		return nil, fmt.Errorf("index: not a PIS index stream (magic %q)", p.Magic)
+	}
+	if p.VertexBlind != distance.IgnoresVertices(metric) {
+		return nil, fmt.Errorf("index: metric vertex-blindness disagrees with the saved index")
+	}
+	x := &Index{
+		opts: Options{
+			Kind:             Kind(p.Kind),
+			Metric:           metric,
+			MaxFragmentEdges: p.MaxFragmentEdges,
+		},
+		classes: make(map[string]*Class, len(p.Classes)),
+		dbSize:  p.DBSize,
+	}
+	for _, pc := range p.Classes {
+		code := canon.Code(pc.Code)
+		cg := code.Graph()
+		_, embs := canon.MinCodeUnlabeled(cg)
+		c := &Class{
+			ID:        len(x.list),
+			Key:       pc.Key,
+			Code:      code,
+			Structure: cg,
+			NumV:      cg.N(),
+			NumE:      cg.M(),
+			vOff:      pc.VOff,
+			postings:  pc.Postings,
+			fragments: pc.Fragments,
+		}
+		if c.Key != code.Key() {
+			return nil, fmt.Errorf("index: class key does not match its code")
+		}
+		for _, a := range embs {
+			perm := make([]int, c.SeqLen())
+			for k := 0; k < c.vOff; k++ {
+				perm[k] = int(a.Vertices[k])
+			}
+			for t := 0; t < c.NumE; t++ {
+				perm[c.vOff+t] = c.vOff + int(a.Edges[t])
+			}
+			c.perms = append(c.perms, perm)
+		}
+		switch x.opts.Kind {
+		case TrieIndex:
+			c.trie = newTrieFor(c, pc.Entries)
+		case VPTreeIndex:
+			for _, e := range pc.Entries {
+				c.vpSeq = append(c.vpSeq, e.Seq)
+				c.vpIDs = append(c.vpIDs, e.Graphs[0])
+			}
+		case RTreeIndex:
+			for _, e := range pc.Entries {
+				c.rtEnt = append(c.rtEnt, rtree.Entry{Point: e.Point, Data: e.Graphs[0]})
+			}
+		default:
+			return nil, fmt.Errorf("index: unknown kind %d", p.Kind)
+		}
+		x.classes[c.Key] = c
+		x.list = append(x.list, c)
+	}
+	x.finalize() // rebuilds R-trees and VP-trees
+	return x, nil
+}
+
+func newTrieFor(c *Class, entries []persistEntry) *trie.Trie {
+	t := trie.New(c.SeqLen())
+	for _, e := range entries {
+		for _, id := range e.Graphs {
+			t.Insert(e.Seq, id)
+		}
+	}
+	return t
+}

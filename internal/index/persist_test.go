@@ -1,0 +1,118 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pis/internal/distance"
+)
+
+// roundTrip saves and reloads an index, then checks that every range
+// query answers identically.
+func roundTrip(t *testing.T, kind Kind, metric distance.Metric) {
+	t.Helper()
+	x, db := buildSmall(t, kind, metric, 31, 15)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(&buf, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.DBSize() != x.DBSize() || len(y.Classes()) != len(x.Classes()) {
+		t.Fatalf("shape mismatch after load: %d/%d classes", len(y.Classes()), len(x.Classes()))
+	}
+	sx, sy := x.Stats(), y.Stats()
+	if sx != sy {
+		t.Fatalf("stats mismatch: saved %+v, loaded %+v", sx, sy)
+	}
+	rng := rand.New(rand.NewSource(8))
+	checked := 0
+	for attempts := 0; attempts < 30 && checked < 10; attempts++ {
+		q := db[rng.Intn(len(db))]
+		qfs := x.QueryFragments(q)
+		if len(qfs) == 0 {
+			continue
+		}
+		qf := qfs[rng.Intn(len(qfs))]
+		qfs2 := y.QueryFragments(q)
+		if len(qfs2) != len(qfs) {
+			t.Fatalf("query fragments differ after load: %d vs %d", len(qfs2), len(qfs))
+		}
+		sigma := float64(rng.Intn(3))
+		want := x.RangeQuery(qf, sigma)
+		// Find the matching fragment in the loaded index (same edges).
+		var got map[int32]float64
+		for _, qf2 := range qfs2 {
+			if sameEdges(qf.Edges, qf2.Edges) {
+				got = y.RangeQuery(qf2, sigma)
+				break
+			}
+		}
+		if got == nil {
+			t.Fatal("fragment missing after load")
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range query size differs after load: %d vs %d", len(got), len(want))
+		}
+		for id, d := range want {
+			if g, ok := got[id]; !ok || g != d {
+				t.Fatalf("range query result differs for graph %d: %v vs %v", id, g, d)
+			}
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d round-trip queries checked", checked)
+	}
+}
+
+func TestPersistRoundTripTrie(t *testing.T) {
+	roundTrip(t, TrieIndex, distance.EdgeMutation{})
+}
+
+func TestPersistRoundTripVPTree(t *testing.T) {
+	roundTrip(t, VPTreeIndex, distance.EdgeMutation{})
+}
+
+func TestPersistRoundTripRTree(t *testing.T) {
+	roundTrip(t, RTreeIndex, distance.Linear{})
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not an index"), distance.EdgeMutation{}); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestPersistRejectsMetricMismatch(t *testing.T) {
+	x, _ := buildSmall(t, TrieIndex, distance.EdgeMutation{}, 3, 8)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// FullMutation is not vertex-blind; the stored layout is.
+	if _, err := Load(&buf, distance.FullMutation{}); err == nil {
+		t.Error("vertex-blindness mismatch accepted")
+	}
+}
+
+func TestPersistRejectsNilMetric(t *testing.T) {
+	if _, err := Load(bytes.NewBuffer(nil), nil); err == nil {
+		t.Error("nil metric accepted")
+	}
+}
+
+func sameEdges(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

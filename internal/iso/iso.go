@@ -1,0 +1,280 @@
+// Package iso implements subgraph isomorphism over the labeled graphs of
+// internal/graph: a VF2-style backtracking matcher for structural queries
+// and a branch-and-bound search for the minimum superimposed distance of
+// the PIS paper (Definition 1).
+//
+// Subgraph isomorphism here follows the paper's convention: it considers
+// only the structure (skeleton) of the pattern; labels enter through the
+// distance metric, never as hard match constraints. An "embedding" maps
+// pattern vertices injectively onto host vertices such that every pattern
+// edge has a corresponding host edge (non-induced / monomorphism
+// semantics, which is what substructure search means for molecules).
+package iso
+
+import (
+	"pis/internal/distance"
+	"pis/internal/graph"
+)
+
+// matcher carries the state of one VF2 search.
+type matcher struct {
+	p, h     *graph.Graph
+	order    []int32 // pattern vertices in match order (connected expansion)
+	porder   []int32 // for order[k], a previously matched neighbor anchor (or -1)
+	pAnchorE []int32 // pattern edge joining order[k] to its anchor (or -1)
+	assign   []int32 // pattern vertex -> host vertex (-1 unassigned)
+	usedHost []bool
+}
+
+// matchOrder computes a connected expansion order for the pattern: after
+// the first vertex, each vertex is adjacent to an earlier one. Patterns
+// must be connected; the caller enforces it.
+func newMatcher(p, h *graph.Graph) *matcher {
+	m := &matcher{
+		p:        p,
+		h:        h,
+		assign:   make([]int32, p.N()),
+		usedHost: make([]bool, h.N()),
+	}
+	for i := range m.assign {
+		m.assign[i] = -1
+	}
+	n := p.N()
+	visited := make([]bool, n)
+	// Start from a max-degree vertex: fewer host candidates.
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	m.order = append(m.order, int32(start))
+	m.porder = append(m.porder, -1)
+	m.pAnchorE = append(m.pAnchorE, -1)
+	visited[start] = true
+	for len(m.order) < n {
+		best := int32(-1)
+		var bestAnchor, bestEdge int32
+		bestDeg := -1
+		for _, u := range m.order {
+			for _, e := range p.IncidentEdges(int(u)) {
+				w := p.Other(int(e), u)
+				if !visited[w] && p.Degree(int(w)) > bestDeg {
+					best, bestAnchor, bestEdge, bestDeg = w, u, e, p.Degree(int(w))
+				}
+			}
+		}
+		if best < 0 {
+			panic("iso: disconnected pattern")
+		}
+		visited[best] = true
+		m.order = append(m.order, best)
+		m.porder = append(m.porder, bestAnchor)
+		m.pAnchorE = append(m.pAnchorE, bestEdge)
+	}
+	return m
+}
+
+// feasible checks that mapping pattern vertex pv onto host vertex hv keeps
+// every pattern edge between pv and already-assigned vertices realized.
+func (m *matcher) feasible(pv, hv int32) bool {
+	if m.usedHost[hv] {
+		return false
+	}
+	if m.p.Degree(int(pv)) > m.h.Degree(int(hv)) {
+		return false
+	}
+	for _, e := range m.p.IncidentEdges(int(pv)) {
+		w := m.p.Other(int(e), pv)
+		hw := m.assign[w]
+		if hw >= 0 && m.h.EdgeBetween(hv, hw) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// run enumerates embeddings, calling visit with the complete assignment.
+// visit returning false stops the search.
+func (m *matcher) run(visit func(assign []int32) bool) bool {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(m.order) {
+			return visit(m.assign)
+		}
+		pv := m.order[k]
+		if anchor := m.porder[k]; anchor >= 0 {
+			ha := m.assign[anchor]
+			for _, e := range m.h.IncidentEdges(int(ha)) {
+				hv := m.h.Other(int(e), ha)
+				if m.feasible(pv, hv) {
+					m.assign[pv] = hv
+					m.usedHost[hv] = true
+					if !rec(k + 1) {
+						return false
+					}
+					m.assign[pv] = -1
+					m.usedHost[hv] = false
+				}
+			}
+			return true
+		}
+		for hv := int32(0); hv < int32(m.h.N()); hv++ {
+			if m.feasible(pv, hv) {
+				m.assign[pv] = hv
+				m.usedHost[hv] = true
+				if !rec(k + 1) {
+					return false
+				}
+				m.assign[pv] = -1
+				m.usedHost[hv] = false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// HasEmbedding reports whether pattern's structure occurs in host
+// (labels ignored). The empty pattern trivially embeds.
+func HasEmbedding(pattern, host *graph.Graph) bool {
+	if pattern.N() == 0 {
+		return true
+	}
+	if pattern.N() > host.N() || pattern.M() > host.M() {
+		return false
+	}
+	found := false
+	newMatcher(pattern, host).run(func([]int32) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ForEachEmbedding calls fn for every structural embedding of pattern into
+// host with the assignment slice (pattern vertex -> host vertex). The slice
+// is reused; fn must copy it to retain it. fn returning false stops early.
+func ForEachEmbedding(pattern, host *graph.Graph, fn func(assign []int32) bool) {
+	if pattern.N() == 0 || pattern.N() > host.N() || pattern.M() > host.M() {
+		return
+	}
+	newMatcher(pattern, host).run(fn)
+}
+
+// CountEmbeddings returns the number of structural embeddings (counting
+// each injective vertex mapping once).
+func CountEmbeddings(pattern, host *graph.Graph) int {
+	n := 0
+	ForEachEmbedding(pattern, host, func([]int32) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// SuperpositionCost sums the metric cost of a complete superposition given
+// as an assignment from pattern vertices to host vertices. It is the
+// brute-force counterpart of MinSuperimposedDistance, kept exported as the
+// oracle for property tests in dependent packages.
+func SuperpositionCost(q, g *graph.Graph, assign []int32, m distance.Metric) float64 {
+	cost := 0.0
+	for qv := 0; qv < q.N(); qv++ {
+		hv := assign[qv]
+		cost += m.VertexCost(q.VLabelAt(qv), q.VWeightAt(qv), g.VLabelAt(int(hv)), g.VWeightAt(int(hv)))
+	}
+	for _, qe := range q.Edges() {
+		he := g.EdgeAt(g.EdgeBetween(assign[qe.U], assign[qe.V]))
+		cost += m.EdgeCost(qe.Label, qe.Weight, he.Label, he.Weight)
+	}
+	return cost
+}
+
+// MinSuperimposedDistance computes d(Q,G) of Definition 1: the minimum
+// metric cost over all superpositions of Q in G, searched with branch and
+// bound — partial superpositions already costlier than both budget and the
+// best found so far are cut. It returns distance.Infinite when Q's
+// structure does not occur in G or every superposition costs more than
+// budget. Pass budget < 0 for an unbounded exact minimum.
+func MinSuperimposedDistance(q, g *graph.Graph, metric distance.Metric, budget float64) float64 {
+	if q.N() == 0 {
+		return 0
+	}
+	if q.N() > g.N() || q.M() > g.M() {
+		return distance.Infinite
+	}
+	limit := distance.Infinite
+	if budget >= 0 {
+		limit = budget
+	}
+	best := distance.Infinite
+	m := newMatcher(q, g)
+
+	// Incremental cost per depth: when order[k] is assigned we add its
+	// vertex cost plus the costs of every pattern edge whose other endpoint
+	// is already assigned.
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if acc > limit || acc >= best {
+			return
+		}
+		if k == len(m.order) {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		pv := m.order[k]
+		try := func(hv int32) {
+			if !m.feasible(pv, hv) {
+				return
+			}
+			add := metric.VertexCost(q.VLabelAt(int(pv)), q.VWeightAt(int(pv)),
+				g.VLabelAt(int(hv)), g.VWeightAt(int(hv)))
+			for _, e := range q.IncidentEdges(int(pv)) {
+				w := q.Other(int(e), pv)
+				hw := m.assign[w]
+				if hw < 0 {
+					continue
+				}
+				qe := q.EdgeAt(int(e))
+				he := g.EdgeAt(g.EdgeBetween(hv, hw))
+				add += metric.EdgeCost(qe.Label, qe.Weight, he.Label, he.Weight)
+			}
+			next := acc + add
+			if next > limit || next >= best {
+				return
+			}
+			m.assign[pv] = hv
+			m.usedHost[hv] = true
+			rec(k+1, next)
+			m.assign[pv] = -1
+			m.usedHost[hv] = false
+		}
+		if anchor := m.porder[k]; anchor >= 0 {
+			ha := m.assign[anchor]
+			for _, e := range g.IncidentEdges(int(ha)) {
+				try(g.Other(int(e), ha))
+			}
+			return
+		}
+		for hv := int32(0); hv < int32(g.N()); hv++ {
+			try(hv)
+		}
+	}
+	rec(0, 0)
+	if best > limit {
+		return distance.Infinite
+	}
+	return best
+}
+
+// Isomorphic reports whether two graphs have identical structure and size
+// (mutual subgraph isomorphism shortcut: same vertex/edge count plus an
+// embedding in one direction).
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	return HasEmbedding(a, b)
+}

@@ -1,0 +1,284 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+)
+
+func cycle(n int, el graph.ELabel) *graph.Graph {
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n), el)
+	}
+	return b.MustBuild()
+}
+
+func pathG(n int, el graph.ELabel) *graph.Graph {
+	b := graph.NewBuilder(n+1, n)
+	for i := 0; i <= n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32(i+1), el)
+	}
+	return b.MustBuild()
+}
+
+func TestHasEmbeddingBasics(t *testing.T) {
+	hex := cycle(6, 1)
+	if !HasEmbedding(pathG(3, 0), hex) {
+		t.Error("path3 should embed in hexagon")
+	}
+	if HasEmbedding(cycle(5, 0), hex) {
+		t.Error("pentagon must not embed in hexagon")
+	}
+	if !HasEmbedding(cycle(6, 0), hex) {
+		t.Error("hexagon should embed in itself")
+	}
+	if HasEmbedding(cycle(7, 0), hex) {
+		t.Error("larger pattern embedded in smaller host")
+	}
+}
+
+func TestCountEmbeddings(t *testing.T) {
+	hex := cycle(6, 0)
+	// A 6-cycle has 12 automorphic self-embeddings.
+	if n := CountEmbeddings(cycle(6, 0), hex); n != 12 {
+		t.Errorf("hexagon self embeddings = %d, want 12", n)
+	}
+	// Single edge in a hexagon: 6 edges x 2 orientations.
+	if n := CountEmbeddings(pathG(1, 0), hex); n != 12 {
+		t.Errorf("edge embeddings = %d, want 12", n)
+	}
+	// Triangle cannot embed.
+	if n := CountEmbeddings(cycle(3, 0), hex); n != 0 {
+		t.Errorf("triangle embeddings = %d, want 0", n)
+	}
+}
+
+func TestEmbeddingsAreValid(t *testing.T) {
+	host := cycle(6, 0)
+	pat := pathG(2, 0)
+	ForEachEmbedding(pat, host, func(assign []int32) bool {
+		seen := map[int32]bool{}
+		for _, hv := range assign {
+			if seen[hv] {
+				t.Fatal("non-injective assignment")
+			}
+			seen[hv] = true
+		}
+		for _, e := range pat.Edges() {
+			if host.EdgeBetween(assign[e.U], assign[e.V]) < 0 {
+				t.Fatal("pattern edge not realized")
+			}
+		}
+		return true
+	})
+}
+
+func TestNonInducedSemantics(t *testing.T) {
+	// Pattern path 0-1-2 must embed into a triangle even though the
+	// triangle has the extra chord (monomorphism, not induced).
+	tri := cycle(3, 0)
+	if !HasEmbedding(pathG(2, 0), tri) {
+		t.Error("path2 should embed (non-induced) in a triangle")
+	}
+}
+
+// buildLabeledHexagon returns a 6-cycle with the given edge labels.
+func buildLabeledHexagon(labels [6]graph.ELabel) *graph.Graph {
+	b := graph.NewBuilder(6, 6)
+	for i := 0; i < 6; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < 6; i++ {
+		b.AddEdge(int32(i), int32((i+1)%6), labels[i])
+	}
+	return b.MustBuild()
+}
+
+func TestMinSuperimposedDistanceExact(t *testing.T) {
+	metric := distance.EdgeMutation{}
+	q := buildLabeledHexagon([6]graph.ELabel{1, 1, 1, 1, 1, 1})
+	// One mismatching edge label somewhere in the ring: best superposition
+	// costs exactly 1 regardless of rotation.
+	g := buildLabeledHexagon([6]graph.ELabel{1, 1, 2, 1, 1, 1})
+	if d := MinSuperimposedDistance(q, g, metric, -1); d != 1 {
+		t.Errorf("d = %v, want 1", d)
+	}
+	// Identical labels: 0.
+	if d := MinSuperimposedDistance(q, q, metric, -1); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	// Structure missing entirely.
+	if d := MinSuperimposedDistance(cycle(5, 1), g, metric, -1); !distance.IsInfinite(d) {
+		t.Errorf("pentagon in hexagon = %v, want Infinite", d)
+	}
+}
+
+func TestMinSuperimposedDistanceBudget(t *testing.T) {
+	metric := distance.EdgeMutation{}
+	q := buildLabeledHexagon([6]graph.ELabel{1, 1, 1, 1, 1, 1})
+	g := buildLabeledHexagon([6]graph.ELabel{2, 2, 2, 1, 1, 1})
+	exact := MinSuperimposedDistance(q, g, metric, -1)
+	if exact != 3 {
+		t.Fatalf("exact = %v, want 3", exact)
+	}
+	if d := MinSuperimposedDistance(q, g, metric, 2); !distance.IsInfinite(d) {
+		t.Errorf("budget 2 should report Infinite, got %v", d)
+	}
+	if d := MinSuperimposedDistance(q, g, metric, 3); d != 3 {
+		t.Errorf("budget 3 should find 3, got %v", d)
+	}
+}
+
+func TestMinSuperimposedDistanceLinear(t *testing.T) {
+	metric := distance.Linear{}
+	b := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(0)
+	}
+	b.AddWeightedEdge(0, 1, 0, 1.0)
+	b.AddWeightedEdge(1, 2, 0, 2.0)
+	q := b.MustBuild()
+
+	b = graph.NewBuilder(4, 3)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(0)
+	}
+	b.AddWeightedEdge(0, 1, 0, 1.5)
+	b.AddWeightedEdge(1, 2, 0, 2.5)
+	b.AddWeightedEdge(2, 3, 0, 1.25)
+	g := b.MustBuild()
+	// Path-in-path superpositions: {1.5,2.5} or {2.5,1.25} in two
+	// orientations each. Costs: |1-1.5|+|2-2.5| = 1.0; |1-2.5|+|2-1.5| = 2.0;
+	// |1-2.5|+|2-1.25| = 2.25; |1-1.25|+|2-2.5| = 0.75.
+	if d := MinSuperimposedDistance(q, g, metric, -1); d != 0.75 {
+		t.Errorf("linear distance = %v, want 0.75", d)
+	}
+}
+
+// randomMolecule builds a sparse random connected labeled graph.
+func randomMolecule(rng *rand.Rand, n int, elabels int) *graph.Graph {
+	b := graph.NewBuilder(n, n+2)
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(rng.Intn(i)), int32(i), graph.ELabel(rng.Intn(elabels)))
+	}
+	g := b.MustBuild()
+	return g
+}
+
+func TestMinDistanceMatchesBruteForce(t *testing.T) {
+	metric := distance.EdgeMutation{}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		g := randomMolecule(rng, 5+rng.Intn(4), 3)
+		q := randomMolecule(rng, 3+rng.Intn(2), 3)
+		// Brute force over all embeddings.
+		best := distance.Infinite
+		ForEachEmbedding(q, g, func(assign []int32) bool {
+			if c := SuperpositionCost(q, g, assign, metric); c < best {
+				best = c
+			}
+			return true
+		})
+		got := MinSuperimposedDistance(q, g, metric, -1)
+		if got != best {
+			t.Fatalf("trial %d: B&B=%v brute=%v", trial, got, best)
+		}
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	if !Isomorphic(cycle(6, 0), cycle(6, 0)) {
+		t.Error("hexagons should be isomorphic")
+	}
+	if Isomorphic(cycle(6, 0), pathG(6, 0)) {
+		t.Error("cycle vs path misreported isomorphic")
+	}
+}
+
+func BenchmarkHasEmbeddingPathInRing(b *testing.B) {
+	host := cycle(24, 0)
+	pat := pathG(8, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HasEmbedding(pat, host)
+	}
+}
+
+func BenchmarkMinSuperimposedDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	host := randomMolecule(rng, 25, 3)
+	pat := randomMolecule(rng, 8, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinSuperimposedDistance(pat, host, distance.EdgeMutation{}, 4)
+	}
+}
+
+func TestQuickEmbeddingsAlwaysValid(t *testing.T) {
+	// Property: every reported embedding is injective and edge-preserving,
+	// and HasEmbedding agrees with CountEmbeddings > 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		host := randomMolecule(rng, 4+rng.Intn(6), 2)
+		pat := randomMolecule(rng, 2+rng.Intn(3), 2)
+		ok := true
+		count := 0
+		ForEachEmbedding(pat, host, func(assign []int32) bool {
+			count++
+			seen := map[int32]bool{}
+			for _, hv := range assign {
+				if seen[hv] {
+					ok = false
+				}
+				seen[hv] = true
+			}
+			for _, e := range pat.Edges() {
+				if host.EdgeBetween(assign[e.U], assign[e.V]) < 0 {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok && (count > 0) == HasEmbedding(pat, host)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceSymmetryOnIsomorphs(t *testing.T) {
+	// Property: for same-size graphs where both embed into each other,
+	// the superimposed distance is symmetric (mutation costs are).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMolecule(rng, 5, 3)
+		// b is a relabeled copy of a with the same structure.
+		bb := graph.NewBuilder(a.N(), a.M())
+		for i := 0; i < a.N(); i++ {
+			bb.AddVertex(a.VLabelAt(i))
+		}
+		for _, e := range a.Edges() {
+			bb.AddEdge(e.U, e.V, graph.ELabel(rng.Intn(3)))
+		}
+		b := bb.MustBuild()
+		m := distance.EdgeMutation{}
+		return MinSuperimposedDistance(a, b, m, -1) == MinSuperimposedDistance(b, a, m, -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/canon"
+	"pis/internal/graph"
+	"pis/internal/iso"
+)
+
+func cycleG(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n), 0)
+	}
+	return b.MustBuild()
+}
+
+func pathG(n int) *graph.Graph {
+	b := graph.NewBuilder(n+1, n)
+	for i := 0; i <= n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32(i+1), 0)
+	}
+	return b.MustBuild()
+}
+
+func randomMolecule(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n, n+2)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VLabel(rng.Intn(3)))
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(rng.Intn(i)), int32(i), graph.ELabel(rng.Intn(3)))
+	}
+	return b.MustBuild()
+}
+
+func TestMineFindsExpectedStructures(t *testing.T) {
+	db := []*graph.Graph{cycleG(6), cycleG(6), cycleG(5), pathG(4)}
+	feats, err := Mine(db, Options{MaxEdges: 6, MinSupportFraction: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Feature{}
+	for _, f := range feats {
+		byKey[f.Key] = f
+	}
+	// A single edge appears in all 4 graphs.
+	edgeKey := canon.StructureKey(pathG(1))
+	if f, ok := byKey[edgeKey]; !ok || f.Support != 4 {
+		t.Errorf("single edge feature missing or wrong support: %+v", byKey[edgeKey])
+	}
+	// The hexagon appears in exactly 2 graphs of 4: support fraction 0.5.
+	hexKey := canon.StructureKey(cycleG(6))
+	if f, ok := byKey[hexKey]; !ok || f.Support != 2 {
+		t.Errorf("hexagon feature missing or wrong support: got %+v", byKey[hexKey])
+	}
+	// The pentagon appears once: below min support.
+	pentKey := canon.StructureKey(cycleG(5))
+	if _, ok := byKey[pentKey]; ok {
+		t.Error("pentagon kept despite support below threshold")
+	}
+	// Support must never exceed DB size and features are deduped.
+	seen := map[string]bool{}
+	for _, f := range feats {
+		if f.Support > len(db) || f.Support < 1 {
+			t.Errorf("feature support out of range: %+v", f)
+		}
+		if seen[f.Key] {
+			t.Errorf("duplicate feature %q", f.Key)
+		}
+		seen[f.Key] = true
+		if f.Graph.M() != f.Edges {
+			t.Errorf("feature graph size disagrees with Edges")
+		}
+	}
+}
+
+func TestMineSupportsAreExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := make([]*graph.Graph, 15)
+	for i := range db {
+		db[i] = randomMolecule(rng, 5+rng.Intn(4))
+	}
+	feats, err := Mine(db, Options{MaxEdges: 3, MinSupportFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: support via explicit subgraph isomorphism of the skeletons.
+	for _, f := range feats[:min(len(feats), 12)] {
+		want := 0
+		for _, g := range db {
+			if iso.HasEmbedding(f.Graph, g.Skeleton()) {
+				want++
+			}
+		}
+		if f.Support != want {
+			t.Errorf("feature %v: support %d, oracle %d", f.Code, f.Support, want)
+		}
+	}
+}
+
+func TestMineOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := make([]*graph.Graph, 10)
+	for i := range db {
+		db[i] = randomMolecule(rng, 8)
+	}
+	feats, err := Mine(db, Options{MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(feats); i++ {
+		a, b := feats[i-1], feats[i]
+		if a.Edges < b.Edges {
+			t.Fatal("features not sorted by size desc")
+		}
+		if a.Edges == b.Edges && a.Support > b.Support {
+			t.Fatal("equal-size features not sorted by support asc")
+		}
+	}
+}
+
+func TestMinEdgesFilter(t *testing.T) {
+	db := []*graph.Graph{cycleG(6), pathG(5)}
+	feats, err := Mine(db, Options{MaxEdges: 4, MinEdges: 3, MinSupportFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range feats {
+		if f.Edges < 3 || f.Edges > 4 {
+			t.Errorf("feature size %d outside [3,4]", f.Edges)
+		}
+	}
+}
+
+func TestPathsOnly(t *testing.T) {
+	db := []*graph.Graph{cycleG(6), cycleG(6)}
+	feats, err := Mine(db, Options{MaxEdges: 5, PathsOnly: true, MinSupportFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no path features mined from hexagons")
+	}
+	for _, f := range feats {
+		if f.Graph.M() != f.Graph.N()-1 {
+			t.Errorf("non-path feature kept: %v", f.Code)
+		}
+		for v := 0; v < f.Graph.N(); v++ {
+			if f.Graph.Degree(v) > 2 {
+				t.Errorf("feature has branch vertex: %v", f.Code)
+			}
+		}
+	}
+}
+
+func TestDiscriminativeShrinksFeatureSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := make([]*graph.Graph, 30)
+	for i := range db {
+		db[i] = randomMolecule(rng, 10)
+	}
+	all, err := Mine(db, Options{MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := Mine(db, Options{MaxEdges: 4, Gamma: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc) > len(all) {
+		t.Errorf("discriminative selection grew the feature set: %d > %d", len(disc), len(all))
+	}
+	if len(disc) == 0 {
+		t.Error("discriminative selection dropped everything")
+	}
+	// Minimum-size features always survive.
+	for _, f := range disc {
+		if f.Edges == 1 {
+			return
+		}
+	}
+	t.Error("no minimum-size feature kept")
+}
+
+func TestMaxFeaturesCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := make([]*graph.Graph, 20)
+	for i := range db {
+		db[i] = randomMolecule(rng, 9)
+	}
+	feats, err := Mine(db, Options{MaxEdges: 4, MaxFeatures: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) > 5 {
+		t.Errorf("cap ignored: %d features", len(feats))
+	}
+}
+
+func TestMineOptionValidation(t *testing.T) {
+	db := []*graph.Graph{pathG(2)}
+	if _, err := Mine(db, Options{MaxEdges: 0}); err == nil {
+		t.Error("MaxEdges 0 accepted")
+	}
+	if _, err := Mine(db, Options{MaxEdges: 2, MinEdges: 3}); err == nil {
+		t.Error("MinEdges > MaxEdges accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+// Package rtree implements a Guttman R-tree with quadratic split plus an
+// STR bulk loader. PIS uses it as the per-class index for the linear
+// mutation distance: each fragment of a class becomes a point whose
+// coordinates are its weights in canonical order (paper §4, Example 3),
+// and the σ range query becomes an L1 ball search.
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned box. Min and Max have the tree's dimension.
+type Rect struct {
+	Min, Max []float64
+}
+
+func pointRect(p []float64) Rect { return Rect{Min: p, Max: p} }
+
+// contains reports whether r fully contains point p.
+func (r Rect) containsPoint(p []float64) bool {
+	for i := range p {
+		if p[i] < r.Min[i] || p[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether two boxes overlap.
+func (r Rect) intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Max[i] < o.Min[i] || o.Max[i] < r.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// enlarge grows r minimally to cover o, returning the result.
+func (r Rect) enlarge(o Rect) Rect {
+	min := make([]float64, len(r.Min))
+	max := make([]float64, len(r.Max))
+	for i := range min {
+		min[i] = math.Min(r.Min[i], o.Min[i])
+		max[i] = math.Max(r.Max[i], o.Max[i])
+	}
+	return Rect{Min: min, Max: max}
+}
+
+func (r Rect) area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// Entry is a stored point with its payload (a graph id in PIS).
+type Entry struct {
+	Point []float64
+	Data  int32
+}
+
+type item struct {
+	rect  Rect
+	child *treeNode // nil at leaves
+	entry Entry     // valid at leaves
+}
+
+type treeNode struct {
+	leaf  bool
+	items []item
+}
+
+// Tree is an R-tree over fixed-dimension points. Create with New or
+// BulkLoad.
+type Tree struct {
+	dim        int
+	maxEntries int
+	minEntries int
+	root       *treeNode
+	size       int
+}
+
+// New returns an empty R-tree for dim-dimensional points.
+func New(dim int) *Tree {
+	return &Tree{dim: dim, maxEntries: 16, minEntries: 6, root: &treeNode{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the point dimension.
+func (t *Tree) Dim() int { return t.dim }
+
+// Insert adds a point with a payload. The point slice is retained.
+func (t *Tree) Insert(p []float64, data int32) {
+	if len(p) != t.dim {
+		panic("rtree: dimension mismatch")
+	}
+	t.size++
+	it := item{rect: pointRect(p), entry: Entry{Point: p, Data: data}}
+	n, path := t.chooseLeaf(it.rect)
+	n.items = append(n.items, it)
+	t.adjust(n, path)
+}
+
+// chooseLeaf descends by least area enlargement, returning the leaf and
+// the path of (node, child index) taken.
+type pathStep struct {
+	node *treeNode
+	idx  int
+}
+
+func (t *Tree) chooseLeaf(r Rect) (*treeNode, []pathStep) {
+	n := t.root
+	var path []pathStep
+	for !n.leaf {
+		bestIdx, bestGrow, bestArea := -1, math.Inf(1), math.Inf(1)
+		for i, it := range n.items {
+			area := it.rect.area()
+			grow := it.rect.enlarge(r).area() - area
+			if grow < bestGrow || (grow == bestGrow && area < bestArea) {
+				bestIdx, bestGrow, bestArea = i, grow, area
+			}
+		}
+		path = append(path, pathStep{n, bestIdx})
+		n = n.items[bestIdx].child
+	}
+	return n, path
+}
+
+// adjust propagates splits and rect growth from a modified leaf upward.
+func (t *Tree) adjust(n *treeNode, path []pathStep) {
+	var split *treeNode
+	if len(n.items) > t.maxEntries {
+		split = t.quadraticSplit(n)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		parent, idx := path[i].node, path[i].idx
+		parent.items[idx].rect = boundOf(parent.items[idx].child)
+		if split != nil {
+			parent.items = append(parent.items, item{rect: boundOf(split), child: split})
+			split = nil
+			if len(parent.items) > t.maxEntries {
+				split = t.quadraticSplit(parent)
+			}
+		}
+		n = parent
+	}
+	if split != nil { // root split: grow a level
+		newRoot := &treeNode{leaf: false, items: []item{
+			{rect: boundOf(t.root), child: t.root},
+			{rect: boundOf(split), child: split},
+		}}
+		t.root = newRoot
+	}
+}
+
+func boundOf(n *treeNode) Rect {
+	r := n.items[0].rect
+	min := append([]float64(nil), r.Min...)
+	max := append([]float64(nil), r.Max...)
+	for _, it := range n.items[1:] {
+		for d := range min {
+			min[d] = math.Min(min[d], it.rect.Min[d])
+			max[d] = math.Max(max[d], it.rect.Max[d])
+		}
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// quadraticSplit splits n in place, returning the new sibling.
+func (t *Tree) quadraticSplit(n *treeNode) *treeNode {
+	items := n.items
+	// Pick seeds: the pair wasting the most area if grouped together.
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			d := items[i].rect.enlarge(items[j].rect).area() -
+				items[i].rect.area() - items[j].rect.area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []item{items[seedA]}
+	groupB := []item{items[seedB]}
+	rectA, rectB := items[seedA].rect, items[seedB].rect
+	rest := make([]item, 0, len(items)-2)
+	for i, it := range items {
+		if i != seedA && i != seedB {
+			rest = append(rest, it)
+		}
+	}
+	for len(rest) > 0 {
+		// Honor the minimum fill requirement.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, it := range rest {
+				rectA = rectA.enlarge(it.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, it := range rest {
+				rectB = rectB.enlarge(it.rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		var bestToA bool
+		for i, it := range rest {
+			dA := rectA.enlarge(it.rect).area() - rectA.area()
+			dB := rectB.enlarge(it.rect).area() - rectB.area()
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestToA = diff, i, dA < dB
+			}
+		}
+		it := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if bestToA {
+			groupA = append(groupA, it)
+			rectA = rectA.enlarge(it.rect)
+		} else {
+			groupB = append(groupB, it)
+			rectB = rectB.enlarge(it.rect)
+		}
+	}
+	n.items = groupA
+	return &treeNode{leaf: n.leaf, items: groupB}
+}
+
+// SearchRect visits every entry inside the query box. fn returning false
+// stops the search.
+func (t *Tree) SearchRect(r Rect, fn func(Entry) bool) {
+	var walk func(n *treeNode) bool
+	walk = func(n *treeNode) bool {
+		for _, it := range n.items {
+			if !it.rect.intersects(r) {
+				continue
+			}
+			if n.leaf {
+				if r.containsPoint(it.entry.Point) && !fn(it.entry) {
+					return false
+				}
+			} else if !walk(it.child) {
+				return false
+			}
+		}
+		return true
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+}
+
+// SearchL1 visits every entry within L1 distance radius of center, passing
+// the exact distance. This is the σ range query of the linear mutation
+// distance: the box [center−σ, center+σ] is scanned and candidates are
+// re-checked against the true L1 ball.
+func (t *Tree) SearchL1(center []float64, radius float64, fn func(e Entry, d float64) bool) {
+	min := make([]float64, t.dim)
+	max := make([]float64, t.dim)
+	for i := range center {
+		min[i] = center[i] - radius
+		max[i] = center[i] + radius
+	}
+	t.SearchRect(Rect{Min: min, Max: max}, func(e Entry) bool {
+		d := 0.0
+		for i := range center {
+			d += math.Abs(center[i] - e.Point[i])
+		}
+		if d <= radius {
+			return fn(e, d)
+		}
+		return true
+	})
+}
+
+// BulkLoad builds a tree from entries using Sort-Tile-Recursive packing:
+// entries are sorted by the first coordinate, cut into vertical slabs, and
+// each slab is sorted by the second coordinate and cut into leaves.
+func BulkLoad(dim int, entries []Entry) *Tree {
+	t := New(dim)
+	if len(entries) == 0 {
+		return t
+	}
+	t.size = len(entries)
+	sorted := append([]Entry(nil), entries...)
+	m := t.maxEntries
+	leafCount := (len(sorted) + m - 1) / m
+	slabs := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlab := (len(sorted) + slabs - 1) / slabs
+
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Point[0] < sorted[j].Point[0] })
+	var leaves []*treeNode
+	second := 0
+	if dim > 1 {
+		second = 1
+	}
+	for s := 0; s < len(sorted); s += perSlab {
+		e := s + perSlab
+		if e > len(sorted) {
+			e = len(sorted)
+		}
+		slab := sorted[s:e]
+		sort.Slice(slab, func(i, j int) bool { return slab[i].Point[second] < slab[j].Point[second] })
+		for l := 0; l < len(slab); l += m {
+			le := l + m
+			if le > len(slab) {
+				le = len(slab)
+			}
+			leaf := &treeNode{leaf: true}
+			for _, en := range slab[l:le] {
+				leaf.items = append(leaf.items, item{rect: pointRect(en.Point), entry: en})
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	// Pack levels upward.
+	level := leaves
+	for len(level) > 1 {
+		var next []*treeNode
+		for s := 0; s < len(level); s += m {
+			e := s + m
+			if e > len(level) {
+				e = len(level)
+			}
+			parent := &treeNode{}
+			for _, c := range level[s:e] {
+				parent.items = append(parent.items, item{rect: boundOf(c), child: c})
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}

@@ -1,0 +1,225 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 10
+		}
+		out[i] = Entry{Point: p, Data: int32(i)}
+	}
+	return out
+}
+
+func bruteRect(entries []Entry, r Rect) map[int32]bool {
+	out := map[int32]bool{}
+	for _, e := range entries {
+		if r.containsPoint(e.Point) {
+			out[e.Data] = true
+		}
+	}
+	return out
+}
+
+func bruteL1(entries []Entry, center []float64, radius float64) map[int32]float64 {
+	out := map[int32]float64{}
+	for _, e := range entries {
+		d := 0.0
+		for i := range center {
+			d += math.Abs(center[i] - e.Point[i])
+		}
+		if d <= radius {
+			out[e.Data] = d
+		}
+	}
+	return out
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(2)
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}, {5, 5}, {9, 9}}
+	for i, p := range pts {
+		tr.Insert(p, int32(i))
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var got []int32
+	tr.SearchRect(Rect{Min: []float64{0.5, 0.5}, Max: []float64{5, 5}}, func(e Entry) bool {
+		got = append(got, e.Data)
+		return true
+	})
+	if len(got) != 3 {
+		t.Errorf("rect search returned %v, want ids 1,2,3", got)
+	}
+}
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dim := range []int{1, 2, 3, 5} {
+		entries := randPoints(rng, 300, dim)
+		tr := New(dim)
+		for _, e := range entries {
+			tr.Insert(e.Point, e.Data)
+		}
+		for trial := 0; trial < 20; trial++ {
+			min := make([]float64, dim)
+			max := make([]float64, dim)
+			for d := range min {
+				a, b := rng.Float64()*10, rng.Float64()*10
+				min[d], max[d] = math.Min(a, b), math.Max(a, b)
+			}
+			r := Rect{Min: min, Max: max}
+			want := bruteRect(entries, r)
+			got := map[int32]bool{}
+			tr.SearchRect(r, func(e Entry) bool {
+				got[e.Data] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("dim %d trial %d: got %d, want %d", dim, trial, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("dim %d trial %d: missing id %d", dim, trial, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchL1MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	dim := 3
+	entries := randPoints(rng, 400, dim)
+	tr := New(dim)
+	for _, e := range entries {
+		tr.Insert(e.Point, e.Data)
+	}
+	for trial := 0; trial < 25; trial++ {
+		center := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		radius := rng.Float64() * 4
+		want := bruteL1(entries, center, radius)
+		got := map[int32]float64{}
+		tr.SearchL1(center, radius, func(e Entry, d float64) bool {
+			got[e.Data] = d
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for id, d := range want {
+			if math.Abs(got[id]-d) > 1e-12 {
+				t.Fatalf("trial %d: id %d distance %v, want %v", trial, id, got[id], d)
+			}
+		}
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 15, 16, 17, 200, 1000} {
+		entries := randPoints(rng, n, 2)
+		tr := BulkLoad(2, entries)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len=%d", n, tr.Len())
+		}
+		r := Rect{Min: []float64{2, 2}, Max: []float64{7, 7}}
+		want := bruteRect(entries, r)
+		got := map[int32]bool{}
+		tr.SearchRect(r, func(e Entry) bool {
+			got[e.Data] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d, want %d", n, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	entries := randPoints(rng, 100, 2)
+	tr := BulkLoad(2, entries)
+	extra := randPoints(rng, 50, 2)
+	for i, e := range extra {
+		tr.Insert(e.Point, int32(1000+i))
+	}
+	all := append(append([]Entry(nil), entries...), func() []Entry {
+		out := make([]Entry, len(extra))
+		for i, e := range extra {
+			out[i] = Entry{Point: e.Point, Data: int32(1000 + i)}
+		}
+		return out
+	}()...)
+	r := Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}
+	want := bruteRect(all, r)
+	got := map[int32]bool{}
+	tr.SearchRect(r, func(e Entry) bool {
+		got[e.Data] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := New(2)
+	for _, e := range randPoints(rng, 100, 2) {
+		tr.Insert(e.Point, e.Data)
+	}
+	count := 0
+	tr.SearchRect(Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New(2)
+	p := []float64{1, 1}
+	for i := 0; i < 40; i++ {
+		tr.Insert(p, int32(i))
+	}
+	got := 0
+	tr.SearchL1(p, 0, func(Entry, float64) bool {
+		got++
+		return true
+	})
+	if got != 40 {
+		t.Errorf("duplicate point search found %d, want 40", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, b.N+1, 3)
+	tr := New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pts[i].Point, pts[i].Data)
+	}
+}
+
+func BenchmarkSearchL1(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := BulkLoad(3, randPoints(rng, 10000, 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SearchL1([]float64{5, 5, 5}, 1.0, func(Entry, float64) bool { return true })
+	}
+}

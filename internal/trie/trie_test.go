@@ -1,0 +1,291 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func hamming(_ int, a, b uint32) float64 {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+func TestInsertAndExact(t *testing.T) {
+	tr := New(3)
+	tr.Insert([]uint32{1, 2, 3}, 10)
+	tr.Insert([]uint32{1, 2, 3}, 11)
+	tr.Insert([]uint32{1, 2, 3}, 10) // duplicate posting ignored
+	tr.Insert([]uint32{1, 2, 4}, 12)
+	if tr.Sequences() != 2 {
+		t.Errorf("sequences = %d, want 2", tr.Sequences())
+	}
+	if tr.Postings() != 3 {
+		t.Errorf("postings = %d, want 3", tr.Postings())
+	}
+	got := tr.Exact([]uint32{1, 2, 3})
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Errorf("exact postings = %v", got)
+	}
+	if tr.Exact([]uint32{9, 9, 9}) != nil {
+		t.Error("exact on missing sequence should be nil")
+	}
+}
+
+func TestPostingsSortedUnderAnyOrder(t *testing.T) {
+	tr := New(1)
+	for _, id := range []int32{5, 1, 9, 3, 1, 5} {
+		tr.Insert([]uint32{7}, id)
+	}
+	got := tr.Exact([]uint32{7})
+	want := []int32{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("postings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("postings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeHamming(t *testing.T) {
+	tr := New(4)
+	tr.Insert([]uint32{1, 1, 1, 1}, 1)
+	tr.Insert([]uint32{1, 1, 1, 2}, 2)
+	tr.Insert([]uint32{1, 1, 2, 2}, 3)
+	tr.Insert([]uint32{2, 2, 2, 2}, 4)
+	probe := []uint32{1, 1, 1, 1}
+	for budget, wantIDs := range map[float64][]int32{
+		0: {1},
+		1: {1, 2},
+		2: {1, 2, 3},
+		4: {1, 2, 3, 4},
+	} {
+		seen := map[int32]float64{}
+		tr.Range(probe, budget, hamming, func(d float64, graphs []int32) bool {
+			for _, g := range graphs {
+				seen[g] = d
+			}
+			return true
+		})
+		if len(seen) != len(wantIDs) {
+			t.Errorf("budget %v: saw %v, want ids %v", budget, seen, wantIDs)
+			continue
+		}
+		for _, id := range wantIDs {
+			if _, ok := seen[id]; !ok {
+				t.Errorf("budget %v: missing id %d", budget, id)
+			}
+		}
+	}
+	// Distances reported correctly.
+	tr.Range(probe, 4, hamming, func(d float64, graphs []int32) bool {
+		want := map[int32]float64{1: 0, 2: 1, 3: 2, 4: 4}
+		for _, g := range graphs {
+			if d != want[g] {
+				t.Errorf("id %d reported distance %v, want %v", g, d, want[g])
+			}
+		}
+		return true
+	})
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := uint32(0); i < 10; i++ {
+		tr.Insert([]uint32{i, i}, int32(i))
+	}
+	count := 0
+	tr.Range([]uint32{0, 0}, 99, hamming, func(float64, []int32) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d leaves, want 3", count)
+	}
+}
+
+func TestWeightedCostFunc(t *testing.T) {
+	// Position 0 costs 5 per substitution, others cost 1.
+	cost := func(pos int, a, b uint32) float64 {
+		if a == b {
+			return 0
+		}
+		if pos == 0 {
+			return 5
+		}
+		return 1
+	}
+	tr := New(2)
+	tr.Insert([]uint32{1, 1}, 1)
+	tr.Insert([]uint32{2, 1}, 2) // differs at expensive position
+	tr.Insert([]uint32{1, 2}, 3) // differs at cheap position
+	seen := map[int32]bool{}
+	tr.Range([]uint32{1, 1}, 1, cost, func(_ float64, graphs []int32) bool {
+		for _, g := range graphs {
+			seen[g] = true
+		}
+		return true
+	})
+	if !seen[1] || !seen[3] || seen[2] {
+		t.Errorf("weighted range saw %v, want {1,3}", seen)
+	}
+}
+
+func TestZeroLengthSequences(t *testing.T) {
+	tr := New(0)
+	tr.Insert(nil, 7)
+	tr.Insert([]uint32{}, 8)
+	got := 0
+	tr.Range(nil, 0, hamming, func(d float64, graphs []int32) bool {
+		if d != 0 {
+			t.Errorf("zero-length distance %v", d)
+		}
+		got = len(graphs)
+		return true
+	})
+	if got != 2 {
+		t.Errorf("zero-length postings = %d, want 2", got)
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		length := 1 + rng.Intn(6)
+		tr := New(length)
+		type stored struct {
+			seq []uint32
+			id  int32
+		}
+		var all []stored
+		seen := map[string]bool{}
+		for i := 0; i < 60; i++ {
+			seq := make([]uint32, length)
+			for j := range seq {
+				seq[j] = uint32(rng.Intn(4))
+			}
+			key := string(func() []byte {
+				b := make([]byte, length)
+				for j, s := range seq {
+					b[j] = byte(s)
+				}
+				return b
+			}())
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			id := int32(i)
+			tr.Insert(seq, id)
+			all = append(all, stored{seq, id})
+		}
+		probe := make([]uint32, length)
+		for j := range probe {
+			probe[j] = uint32(rng.Intn(4))
+		}
+		budget := float64(rng.Intn(length + 1))
+		want := map[int32]float64{}
+		for _, s := range all {
+			d := 0.0
+			for j := range probe {
+				if probe[j] != s.seq[j] {
+					d++
+				}
+			}
+			if d <= budget {
+				want[s.id] = d
+			}
+		}
+		got := map[int32]float64{}
+		tr.Range(probe, budget, hamming, func(d float64, graphs []int32) bool {
+			for _, g := range graphs {
+				got[g] = d
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for id, d := range want {
+			if got[id] != d {
+				t.Fatalf("trial %d: id %d distance %v, want %v", trial, id, got[id], d)
+			}
+		}
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(8)
+	for i := 0; i < 5000; i++ {
+		seq := make([]uint32, 8)
+		for j := range seq {
+			seq[j] = uint32(rng.Intn(4))
+		}
+		tr.Insert(seq, int32(i))
+	}
+	probe := []uint32{0, 1, 2, 3, 0, 1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Range(probe, 2, hamming, func(float64, []int32) bool { return true })
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	tr := New(3)
+	assertPanics(t, func() { tr.Insert([]uint32{1}, 0) }, "short insert")
+	assertPanics(t, func() {
+		tr.Range([]uint32{1, 2}, 1, hamming, func(float64, []int32) bool { return true })
+	}, "short probe")
+}
+
+func TestNegativeBudgetReturnsNothing(t *testing.T) {
+	tr := New(1)
+	tr.Insert([]uint32{5}, 1)
+	called := false
+	tr.Range([]uint32{5}, -1, hamming, func(float64, []int32) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("negative budget produced results")
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	tr := New(2)
+	want := map[string][]int32{}
+	for i := uint32(0); i < 5; i++ {
+		seq := []uint32{i, i + 1}
+		tr.Insert(seq, int32(i))
+		tr.Insert(seq, int32(i+100))
+		want[string([]byte{byte(seq[0]), byte(seq[1])})] = []int32{int32(i), int32(i + 100)}
+	}
+	got := map[string][]int32{}
+	tr.Walk(func(seq []uint32, graphs []int32) {
+		got[string([]byte{byte(seq[0]), byte(seq[1])})] = append([]int32(nil), graphs...)
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d sequences, want %d", len(got), len(want))
+	}
+	for k, ids := range want {
+		g := got[k]
+		if len(g) != len(ids) || g[0] != ids[0] || g[1] != ids[1] {
+			t.Fatalf("walk postings for %q = %v, want %v", k, g, ids)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, fn func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

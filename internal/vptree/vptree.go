@@ -1,0 +1,101 @@
+// Package vptree implements a vantage-point tree, the "metric-based index"
+// option of the PIS paper (§4, Figure 5): a per-class index that answers σ
+// range queries under any metric, useful when a mutation score matrix has
+// non-uniform costs and the trie's per-position bound is loose.
+//
+// Items are opaque int32 handles; distances are supplied as closures so the
+// tree never needs to see the underlying fragment representation.
+package vptree
+
+import "sort"
+
+// Tree is an immutable vantage-point tree built by Build.
+type Tree struct {
+	root *vnode
+	size int
+}
+
+type vnode struct {
+	item    int32
+	mu      float64 // median distance from item to the inside subtree
+	inside  *vnode  // items with d(item, x) <= mu
+	outside *vnode  // items with d(item, x) > mu
+}
+
+// Build constructs a VP-tree over items. dist must be a metric (symmetric,
+// triangle inequality); Build calls it O(n log n) times. The items slice is
+// not retained.
+func Build(items []int32, dist func(a, b int32) float64) *Tree {
+	work := append([]int32(nil), items...)
+	return &Tree{root: build(work, dist), size: len(items)}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+func build(items []int32, dist func(a, b int32) float64) *vnode {
+	if len(items) == 0 {
+		return nil
+	}
+	n := &vnode{item: items[0]}
+	rest := items[1:]
+	if len(rest) == 0 {
+		return n
+	}
+	type distItem struct {
+		item int32
+		d    float64
+	}
+	ds := make([]distItem, len(rest))
+	for i, it := range rest {
+		ds[i] = distItem{it, dist(n.item, it)}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	mid := len(ds) / 2
+	n.mu = ds[mid].d
+	// inside: d <= mu (indices 0..mid), outside: the remainder. Using the
+	// sorted order keeps the split balanced even with duplicate distances.
+	inside := make([]int32, 0, mid+1)
+	outside := make([]int32, 0, len(ds)-mid-1)
+	for i, di := range ds {
+		if i <= mid {
+			inside = append(inside, di.item)
+		} else {
+			outside = append(outside, di.item)
+		}
+	}
+	n.inside = build(inside, dist)
+	n.outside = build(outside, dist)
+	return n
+}
+
+// Range visits every item within radius of the query. distToQuery returns
+// the metric distance from the query object to a stored item; the triangle
+// inequality against each vantage point prunes subtrees. fn returning
+// false stops the search.
+func (t *Tree) Range(distToQuery func(item int32) float64, radius float64, fn func(item int32, d float64) bool) {
+	var walk func(n *vnode) bool
+	walk = func(n *vnode) bool {
+		if n == nil {
+			return true
+		}
+		d := distToQuery(n.item)
+		if d <= radius {
+			if !fn(n.item, d) {
+				return false
+			}
+		}
+		if d-radius <= n.mu {
+			if !walk(n.inside) {
+				return false
+			}
+		}
+		if d+radius >= n.mu {
+			if !walk(n.outside) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}

@@ -1,0 +1,223 @@
+package vptree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// 1-D metric over a coordinate table: the simplest honest metric.
+func lineMetric(coords []float64) func(a, b int32) float64 {
+	return func(a, b int32) float64 { return math.Abs(coords[a] - coords[b]) }
+}
+
+func TestRangeLine(t *testing.T) {
+	coords := []float64{0, 1, 2, 3, 4, 5, 10, 20}
+	items := make([]int32, len(coords))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	tr := Build(items, lineMetric(coords))
+	if tr.Len() != len(items) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	query := 2.5
+	got := map[int32]float64{}
+	tr.Range(func(it int32) float64 { return math.Abs(coords[it] - query) }, 1.6,
+		func(it int32, d float64) bool {
+			got[it] = d
+			return true
+		})
+	// Within 1.6 of 2.5: coords 1,2,3,4.
+	want := []int32{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want items %v", got, want)
+	}
+	for _, it := range want {
+		if _, ok := got[it]; !ok {
+			t.Errorf("missing item %d", it)
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		coords := make([]float64, n)
+		for i := range coords {
+			coords[i] = rng.Float64() * 100
+		}
+		items := make([]int32, n)
+		for i := range items {
+			items[i] = int32(i)
+		}
+		tr := Build(items, lineMetric(coords))
+		q := rng.Float64() * 100
+		radius := rng.Float64() * 20
+		want := map[int32]bool{}
+		for i, c := range coords {
+			if math.Abs(c-q) <= radius {
+				want[int32(i)] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Range(func(it int32) float64 { return math.Abs(coords[it] - q) }, radius,
+			func(it int32, d float64) bool {
+				if math.Abs(d-math.Abs(coords[it]-q)) > 1e-12 {
+					t.Fatalf("distance misreported")
+				}
+				got[it] = true
+				return true
+			})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d (n=%d radius=%v)", trial, len(got), len(want), n, radius)
+		}
+	}
+}
+
+// hammingVecs tests a genuinely discrete metric like the mutation distance.
+func TestRangeHammingVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n, length := 150, 6
+	vecs := make([][]uint8, n)
+	for i := range vecs {
+		v := make([]uint8, length)
+		for j := range v {
+			v[j] = uint8(rng.Intn(3))
+		}
+		vecs[i] = v
+	}
+	ham := func(a, b []uint8) float64 {
+		d := 0.0
+		for i := range a {
+			if a[i] != b[i] {
+				d++
+			}
+		}
+		return d
+	}
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	tr := Build(items, func(a, b int32) float64 { return ham(vecs[a], vecs[b]) })
+	for trial := 0; trial < 20; trial++ {
+		q := vecs[rng.Intn(n)]
+		radius := float64(rng.Intn(3))
+		want := map[int32]bool{}
+		for i, v := range vecs {
+			if ham(q, v) <= radius {
+				want[int32(i)] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Range(func(it int32) float64 { return ham(q, vecs[it]) }, radius,
+			func(it int32, _ float64) bool {
+				got[it] = true
+				return true
+			})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	tr := Build(nil, func(a, b int32) float64 { return 0 })
+	count := 0
+	tr.Range(func(int32) float64 { return 0 }, 1, func(int32, float64) bool {
+		count++
+		return true
+	})
+	if count != 0 {
+		t.Error("empty tree returned results")
+	}
+	tr = Build([]int32{42}, func(a, b int32) float64 { return 0 })
+	tr.Range(func(int32) float64 { return 0.5 }, 1, func(it int32, _ float64) bool {
+		if it != 42 {
+			t.Errorf("item = %d", it)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Error("singleton not found")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	coords := make([]float64, 50)
+	items := make([]int32, 50)
+	for i := range coords {
+		coords[i] = float64(i)
+		items[i] = int32(i)
+	}
+	tr := Build(items, lineMetric(coords))
+	count := 0
+	tr.Range(func(it int32) float64 { return coords[it] }, 100, func(int32, float64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestQuickCompleteness(t *testing.T) {
+	// Property: every in-range item is found, for random metrics derived
+	// from random embeddings in the plane.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([][2]float64, n)
+		for i := range xs {
+			xs[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		d2 := func(a, b [2]float64) float64 {
+			return math.Hypot(a[0]-b[0], a[1]-b[1])
+		}
+		items := make([]int32, n)
+		for i := range items {
+			items[i] = int32(i)
+		}
+		tr := Build(items, func(a, b int32) float64 { return d2(xs[a], xs[b]) })
+		q := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		radius := rng.Float64() * 5
+		want := 0
+		for _, x := range xs {
+			if d2(q, x) <= radius {
+				want++
+			}
+		}
+		got := 0
+		tr.Range(func(it int32) float64 { return d2(q, xs[it]) }, radius,
+			func(int32, float64) bool {
+				got++
+				return true
+			})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 10000
+	coords := make([]float64, n)
+	items := make([]int32, n)
+	for i := range coords {
+		coords[i] = rng.Float64() * 1000
+		items[i] = int32(i)
+	}
+	tr := Build(items, lineMetric(coords))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Range(func(it int32) float64 { return math.Abs(coords[it] - 500) }, 5,
+			func(int32, float64) bool { return true })
+	}
+}

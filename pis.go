@@ -1,0 +1,307 @@
+// Package pis is a Go implementation of PIS (Partition-based Graph Index
+// and Search) from "Searching Substructures with Superimposed Distance"
+// (Yan, Zhu, Han, Yu — ICDE 2006): similarity search over graph databases
+// where the query structure must occur as a subgraph and the label (or
+// weight) differences of the best superposition must stay within a
+// threshold σ.
+//
+// The three-stage pipeline — fragment-based index, partition-based search,
+// candidate verification — lives in internal packages; this package is the
+// stable public surface:
+//
+//	db, _ := pis.New(graphs, pis.Options{})
+//	result := db.Search(query, 2)      // PIS filtering + verification
+//	for _, id := range result.Answers { ... }
+//
+// Construct graphs with NewGraphBuilder, or load a transaction-format file
+// with ReadDatabase. Baselines (SearchNaive, SearchTopoPrune) return the
+// same answers and exist for comparison, exactly as in the paper's
+// evaluation.
+package pis
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"pis/internal/core"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/mining"
+)
+
+// Re-exported graph construction types. Users build labeled undirected
+// graphs with a Builder; vertex and edge labels are small integers whose
+// meaning the application chooses (atom and bond types, for instance).
+type (
+	// Graph is a labeled undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates vertices and edges.
+	GraphBuilder = graph.Builder
+	// VLabel is a vertex label.
+	VLabel = graph.VLabel
+	// ELabel is an edge label.
+	ELabel = graph.ELabel
+	// Metric scores element superpositions; see EdgeMutation, FullMutation,
+	// NewMutationMatrix and Linear.
+	Metric = distance.Metric
+	// Result carries answers, surviving candidates and stage statistics.
+	Result = core.Result
+	// SearchStats instruments one query (candidates per stage, timings).
+	SearchStats = core.Stats
+)
+
+// NewGraphBuilder returns a builder sized for n vertices and m edges.
+func NewGraphBuilder(n, m int) *GraphBuilder { return graph.NewBuilder(n, m) }
+
+// Built-in metrics.
+var (
+	// EdgeMutation counts mismatched edge labels (the paper's experimental
+	// measure; vertex labels are ignored).
+	EdgeMutation Metric = distance.EdgeMutation{}
+	// FullMutation counts mismatched vertex and edge labels.
+	FullMutation Metric = distance.FullMutation{}
+	// LinearEdgeDistance sums |w - w'| over superimposed edge weights (the
+	// paper's linear mutation distance).
+	LinearEdgeDistance Metric = distance.Linear{}
+)
+
+// NewMutationMatrix returns an editable mutation score matrix metric with
+// unit default cost (the MD measure with custom relabeling prices).
+func NewMutationMatrix() *distance.Matrix { return distance.NewMatrix() }
+
+// IndexKind selects the per-class index structure.
+type IndexKind = index.Kind
+
+// Per-class index kinds (paper Figure 5).
+const (
+	// TrieIndex — canonical label sequences in a trie; mutation distances.
+	TrieIndex = index.TrieIndex
+	// RTreeIndex — weight vectors in an R-tree; linear mutation distance.
+	RTreeIndex = index.RTreeIndex
+	// VPTreeIndex — metric-based index; any measure.
+	VPTreeIndex = index.VPTreeIndex
+)
+
+// Options configures database construction and search.
+type Options struct {
+	// Metric is the superimposed distance measure (default EdgeMutation).
+	Metric Metric
+	// Kind picks the per-class index (default TrieIndex; use RTreeIndex
+	// with LinearEdgeDistance).
+	Kind IndexKind
+
+	// MaxFragmentEdges bounds indexed structure size (default 5; the paper
+	// sweeps 4-6 in Figure 12).
+	MaxFragmentEdges int
+	// MinFragmentEdges drops tiny features (default 2).
+	MinFragmentEdges int
+	// MinSupportFraction is the mining support threshold (default 0.05).
+	MinSupportFraction float64
+	// MiningSample mines features on a prefix sample (default 300 graphs;
+	// 0 uses min(300, len(db))). Postings always cover the full database.
+	MiningSample int
+	// Gamma enables gIndex-style discriminative feature selection when > 0.
+	Gamma float64
+	// PathFeaturesOnly restricts features to simple paths (GraphGrep
+	// flavor).
+	PathFeaturesOnly bool
+
+	// Epsilon, Lambda, PartitionK, MaxFragmentsPerQuery tune the PIS
+	// filtering stage; see the paper §5-§6. Zero values give the paper's
+	// defaults (ε=0, λ=1, Greedy partition, unlimited fragments).
+	Epsilon              float64
+	Lambda               float64
+	PartitionK           int
+	MaxFragmentsPerQuery int
+
+	// BuildWorkers parallelizes index construction across goroutines
+	// (0 = GOMAXPROCS, 1 = serial). The index is identical either way.
+	BuildWorkers int
+	// UseGSpan mines features by pattern growth instead of
+	// enumerate-and-count; the feature set is identical.
+	UseGSpan bool
+}
+
+// Database is an indexed graph database answering SSSD queries.
+type Database struct {
+	graphs   []*Graph
+	features []mining.Feature
+	index    *index.Index
+	searcher *core.Searcher
+}
+
+// New indexes the given graphs. The slice is retained; do not mutate the
+// graphs afterwards.
+func New(graphs []*Graph, opts Options) (*Database, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("pis: empty database")
+	}
+	if opts.Metric == nil {
+		opts.Metric = EdgeMutation
+	}
+	if opts.MaxFragmentEdges <= 0 {
+		opts.MaxFragmentEdges = 5
+	}
+	if opts.MinFragmentEdges <= 0 {
+		opts.MinFragmentEdges = 2
+	}
+	if opts.MinSupportFraction <= 0 {
+		opts.MinSupportFraction = 0.05
+	}
+	if opts.MiningSample <= 0 {
+		opts.MiningSample = 300
+	}
+	feats, err := mining.Mine(graphs, mining.Options{
+		MaxEdges:           opts.MaxFragmentEdges,
+		MinEdges:           opts.MinFragmentEdges,
+		MinSupportFraction: opts.MinSupportFraction,
+		SampleSize:         opts.MiningSample,
+		Gamma:              opts.Gamma,
+		PathsOnly:          opts.PathFeaturesOnly,
+		UseGSpan:           opts.UseGSpan,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pis: mining features: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("pis: no features met the support threshold; lower MinSupportFraction")
+	}
+	idx, err := index.BuildParallel(graphs, feats,
+		index.Options{Kind: opts.Kind, Metric: opts.Metric}, opts.BuildWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("pis: building index: %w", err)
+	}
+	s := core.NewSearcher(graphs, idx, core.Options{
+		Epsilon:              opts.Epsilon,
+		Lambda:               opts.Lambda,
+		PartitionK:           opts.PartitionK,
+		MaxFragmentsPerQuery: opts.MaxFragmentsPerQuery,
+	})
+	return &Database{graphs: graphs, features: feats, index: idx, searcher: s}, nil
+}
+
+// Len returns the number of graphs.
+func (db *Database) Len() int { return len(db.graphs) }
+
+// Graph returns the graph with the given id (its position in the input).
+func (db *Database) Graph(id int32) *Graph { return db.graphs[id] }
+
+// Search answers the SSSD query with the full PIS pipeline: find every
+// graph containing Q's structure within superimposed distance sigma.
+// The query must be a connected graph with at least one vertex.
+func (db *Database) Search(q *Graph, sigma float64) Result {
+	mustBeConnected(q)
+	return db.searcher.Search(q, sigma)
+}
+
+func mustBeConnected(q *Graph) {
+	if q.N() == 0 || !q.Connected() {
+		panic("pis: query graph must be non-empty and connected")
+	}
+}
+
+// SearchTopoPrune answers with structure-only filtering plus verification
+// (the paper's baseline). The query must be connected.
+func (db *Database) SearchTopoPrune(q *Graph, sigma float64) Result {
+	mustBeConnected(q)
+	return db.searcher.SearchTopoPrune(q, sigma)
+}
+
+// SearchNaive verifies every graph; the reference answer. The query must
+// be connected.
+func (db *Database) SearchNaive(q *Graph, sigma float64) Result {
+	mustBeConnected(q)
+	return db.searcher.SearchNaive(q, sigma)
+}
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor = core.Neighbor
+
+// SearchKNN returns the k database graphs nearest to q under the
+// superimposed distance, closest first, searching no farther than
+// maxSigma. Graphs not containing q's structure are never returned, so
+// fewer than k results are possible.
+func (db *Database) SearchKNN(q *Graph, k int, maxSigma float64) []Neighbor {
+	mustBeConnected(q)
+	return db.searcher.SearchKNN(q, k, 0, maxSigma)
+}
+
+// SearchBatch answers many queries concurrently with workers goroutines
+// (0 = GOMAXPROCS). Results align with queries.
+func (db *Database) SearchBatch(queries []*Graph, sigma float64, workers int) []Result {
+	for _, q := range queries {
+		mustBeConnected(q)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Result, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *Graph) {
+			defer wg.Done()
+			out[i] = db.searcher.Search(q, sigma)
+			<-sem
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+// IndexStats summarizes the fragment index.
+type IndexStats struct {
+	Features  int // selected structure features (equivalence classes)
+	Fragments int // fragment occurrences folded into the index
+	Sequences int // distinct stored label sequences / vectors
+}
+
+// Stats reports index size counters.
+func (db *Database) Stats() IndexStats {
+	s := db.index.Stats()
+	return IndexStats{Features: s.Classes, Fragments: s.Fragments, Sequences: s.Sequences}
+}
+
+// SaveIndex serializes the fragment index so a later process can skip the
+// mining and index-construction cost. The graphs themselves are not
+// included; persist them separately with WriteDatabase.
+func (db *Database) SaveIndex(w io.Writer) error {
+	return db.index.Save(w)
+}
+
+// LoadIndex reconstructs a Database from graphs plus an index stream
+// written by SaveIndex. The graphs must be the exact database the index
+// was built over (same contents, same order), and opts.Metric must match
+// the build-time metric; only search-stage options (Epsilon, Lambda,
+// PartitionK, MaxFragmentsPerQuery) are honored from opts.
+func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
+	if opts.Metric == nil {
+		opts.Metric = EdgeMutation
+	}
+	idx, err := index.Load(r, opts.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("pis: loading index: %w", err)
+	}
+	if idx.DBSize() != len(graphs) {
+		return nil, fmt.Errorf("pis: index covers %d graphs, got %d", idx.DBSize(), len(graphs))
+	}
+	s := core.NewSearcher(graphs, idx, core.Options{
+		Epsilon:              opts.Epsilon,
+		Lambda:               opts.Lambda,
+		PartitionK:           opts.PartitionK,
+		MaxFragmentsPerQuery: opts.MaxFragmentsPerQuery,
+	})
+	return &Database{graphs: graphs, index: idx, searcher: s}, nil
+}
+
+// ReadDatabase loads graphs in the line-oriented transaction format
+// ("t # id" / "v id label [weight]" / "e u v label [weight]").
+func ReadDatabase(r io.Reader) ([]*Graph, error) { return graph.ReadDB(r) }
+
+// WriteDatabase writes graphs in the transaction format.
+func WriteDatabase(w io.Writer, graphs []*Graph) error { return graph.WriteDB(w, graphs) }
