@@ -1,0 +1,88 @@
+package pis_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"pis"
+	"pis/gen"
+)
+
+// TestSearchBatchAlignment: results align with queries for worker counts
+// 1, 2, and GOMAXPROCS.
+func TestSearchBatchAlignment(t *testing.T) {
+	graphs := gen.Molecules(40, gen.Config{Seed: 15})
+	db, err := pis.New(graphs, pis.Options{MaxFragmentEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := gen.Queries(graphs, 9, 8, 3)
+	want := make([]pis.Result, len(queries))
+	for i, q := range queries {
+		want[i] = db.Search(q, 1)
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		got := db.SearchBatch(queries, 1, workers)
+		if len(got) != len(queries) {
+			t.Fatalf("workers=%d: %d results for %d queries", workers, len(got), len(queries))
+		}
+		for i := range queries {
+			if !reflect.DeepEqual(got[i].Answers, want[i].Answers) {
+				t.Errorf("workers=%d query %d: answers %v, want %v",
+					workers, i, got[i].Answers, want[i].Answers)
+			}
+			if !reflect.DeepEqual(got[i].Distances, want[i].Distances) {
+				t.Errorf("workers=%d query %d: distances %v, want %v",
+					workers, i, got[i].Distances, want[i].Distances)
+			}
+		}
+	}
+}
+
+// disconnectedGraph builds a two-component graph that must fail the
+// connectivity check.
+func disconnectedGraph() *pis.Graph {
+	b := pis.NewGraphBuilder(4, 2)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(1)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	return b.MustBuild()
+}
+
+// TestSearchBatchPanicDoesNotDeadlock: a panic raised by one query's
+// connectivity check propagates to the caller without leaking workers or
+// wedging the semaphore — the same database keeps answering batches
+// afterwards with worker count 1, where a leaked slot would deadlock.
+func TestSearchBatchPanicDoesNotDeadlock(t *testing.T) {
+	graphs := gen.Molecules(30, gen.Config{Seed: 18})
+	db, err := pis.New(graphs, pis.Options{MaxFragmentEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := gen.Queries(graphs, 3, 8, 5)
+	bad := []*pis.Graph{good[0], disconnectedGraph(), good[1]}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batch with a disconnected query should panic")
+			}
+		}()
+		db.SearchBatch(bad, 1, 1)
+	}()
+
+	done := make(chan []pis.Result, 1)
+	go func() { done <- db.SearchBatch(good, 1, 1) }()
+	select {
+	case rs := <-done:
+		if len(rs) != len(good) {
+			t.Fatalf("%d results for %d queries", len(rs), len(good))
+		}
+	case <-time.After(time.Minute): // generous: the 3-query batch takes milliseconds
+		t.Fatal("SearchBatch deadlocked after a panicking batch")
+	}
+}

@@ -29,6 +29,9 @@ func main() {
 		queries = flag.Int("queries", 200, "queries per query set")
 		seed    = flag.Int64("seed", 1, "seed for generation and sampling")
 		maxFrag = flag.Int("maxfrag", 5, "max indexed fragment size for figures 8-11")
+		jsonOut = flag.String("json", "BENCH_pis.json", "write a machine-readable benchmark report to this file (\"\" disables)")
+		qEdges  = flag.Int("bench-edges", 16, "query size (edges) for the JSON report workload")
+		bSigma  = flag.Float64("bench-sigma", 2, "σ for the JSON report workload")
 	)
 	flag.Parse()
 
@@ -90,5 +93,28 @@ func main() {
 	}
 	if !printed {
 		log.Fatalf("unknown figure %q", *figure)
+	}
+
+	if *jsonOut != "" {
+		// Reuse the environment the figures built. Figure 12 builds its
+		// own sweep environments, so a figure-12-only run has none; don't
+		// double the runtime just for the report.
+		if env == nil && *figure == "12" {
+			fmt.Fprintf(os.Stderr, "skipping %s: -figure 12 builds no shared environment (run another figure to emit it)\n", *jsonOut)
+			return
+		}
+		rep := harness.Measure(buildEnv(), *qEdges, *bSigma)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d queries, %.1f q/s)\n", *jsonOut, rep.Queries, rep.QueriesPerSec)
 	}
 }

@@ -1,21 +1,31 @@
 // Command pisquery loads a graph database and runs one SSSD query against
-// it, printing the matching graph ids and the per-stage statistics.
+// it, printing the matching graph ids and the per-stage statistics. With
+// -serve-addr it sends the query to a running pisserved over HTTP instead
+// of building a local index.
 //
 // Usage:
 //
 //	pisquery -db screen.db -query q.db -sigma 2
 //	pisquery -db screen.db -query q.db -sigma 2 -method toposearch
 //	pisquery -db screen.db -sample 16 -sigma 1   # sample a 16-edge query
+//	pisquery -db screen.db -sample 16 -sigma 1 -serve-addr http://localhost:8080
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"pis"
 	"pis/gen"
+	"pis/server"
 )
 
 func main() {
@@ -30,23 +40,33 @@ func main() {
 		maxFrag = flag.Int("maxfrag", 5, "maximum indexed fragment size (edges)")
 		seed    = flag.Int64("seed", 1, "seed for -sample")
 		verbose = flag.Bool("v", false, "print the query graph")
+		remote  = flag.String("serve-addr", "", "base URL of a running pisserved; query it instead of building a local index")
 	)
 	flag.Parse()
-	if *dbPath == "" {
-		log.Fatal("-db is required")
-	}
 	if (*qPath == "") == (*sample == 0) {
 		log.Fatal("exactly one of -query or -sample is required")
 	}
-
-	dbFile, err := os.Open(*dbPath)
-	if err != nil {
-		log.Fatal(err)
+	if *remote != "" && *method != "pis" {
+		log.Fatalf("-method %s cannot be combined with -serve-addr: the server always runs the PIS pipeline", *method)
 	}
-	graphs, err := pis.ReadDatabase(dbFile)
-	dbFile.Close()
-	if err != nil {
-		log.Fatalf("reading database: %v", err)
+	// The local database is needed to sample a query or to build a local
+	// index; a remote -query run needs neither.
+	needDB := *remote == "" || *sample != 0
+	if needDB && *dbPath == "" {
+		log.Fatal("-db is required")
+	}
+
+	var graphs []*pis.Graph
+	if needDB {
+		dbFile, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs, err = pis.ReadDatabase(dbFile)
+		dbFile.Close()
+		if err != nil {
+			log.Fatalf("reading database: %v", err)
+		}
 	}
 
 	var q *pis.Graph
@@ -66,6 +86,13 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "query: %v\n", q)
+	}
+
+	if *remote != "" {
+		if err := queryRemote(*remote, q, *sigma); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	db, err := pis.New(graphs, pis.Options{MaxFragmentEdges: *maxFrag})
@@ -92,4 +119,37 @@ func main() {
 	fmt.Printf("candidates: %d structural, %d after distance pruning, %d verified\n",
 		st.StructCandidates, st.DistCandidates, st.Verified)
 	fmt.Printf("time: filter %v, verify %v\n", st.FilterTime, st.VerifyTime)
+}
+
+// queryRemote posts the query to a pisserved /search endpoint and prints
+// the response in the local output shape.
+func queryRemote(base string, q *pis.Graph, sigma float64) error {
+	body, err := json.Marshal(server.SearchRequest{Query: server.EncodeGraph(q), Sigma: sigma})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/search"
+	client := &http.Client{Timeout: 5 * time.Minute}
+	httpResp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("querying %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fmt.Errorf("%s returned %s: %s", url, httpResp.Status, bytes.TrimSpace(msg))
+	}
+	var resp server.SearchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	fmt.Printf("answers (%d): %v\n", len(resp.Answers), resp.Answers)
+	st := resp.Stats
+	fmt.Printf("fragments: %d indexed, %d used, partition size %d\n",
+		st.QueryFragments, st.UsedFragments, st.PartitionSize)
+	fmt.Printf("candidates: %d structural, %d after distance pruning, %d verified\n",
+		st.StructCandidates, st.DistCandidates, st.Verified)
+	fmt.Printf("time: server %.2fms (filter %.2fms, verify %.2fms), cached %v\n",
+		resp.ElapsedMS, st.FilterMS, st.VerifyMS, resp.Cached)
+	return nil
 }

@@ -1,0 +1,200 @@
+// Command pisserved serves a sharded PIS graph database over the HTTP
+// JSON API of the server package.
+//
+// Usage:
+//
+//	pisserved -db screen.db -shards 4                 # serve a database file
+//	pisserved -gen 2000 -shards 4                     # serve a synthetic database
+//	pisserved -db screen.db -index-dir ./idx          # persist per-shard indexes;
+//	                                                  # restarts skip mining
+//
+// Endpoints: POST /search, POST /knn, POST /batch, GET /graphs/{id},
+// GET /stats, GET /healthz. The process shuts down gracefully on SIGINT
+// or SIGTERM, draining in-flight requests. See README.md for request
+// bodies and curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"pis"
+	"pis/gen"
+	"pis/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pisserved: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dbPath   = flag.String("db", "", "database file (transaction format)")
+		genN     = flag.Int("gen", 0, "instead of -db, generate this many synthetic molecules")
+		seed     = flag.Int64("seed", 1, "seed for -gen")
+		shards   = flag.Int("shards", 1, "number of contiguous index shards")
+		maxFrag  = flag.Int("maxfrag", 5, "maximum indexed fragment size (edges)")
+		cache    = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
+		indexDir = flag.String("index-dir", "", "directory for per-shard index files; loaded when present, written after a fresh build")
+	)
+	flag.Parse()
+	if (*dbPath == "") == (*genN == 0) {
+		log.Fatal("exactly one of -db or -gen is required")
+	}
+
+	var graphs []*pis.Graph
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs, err = pis.ReadDatabase(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading database: %v", err)
+		}
+	} else {
+		graphs = gen.Molecules(*genN, gen.Config{Seed: *seed})
+	}
+	log.Printf("database: %d graphs", len(graphs))
+
+	opts := pis.Options{MaxFragmentEdges: *maxFrag}
+	db, err := openSharded(graphs, *shards, opts, *indexDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	log.Printf("index: %d shards, %d features, %d fragments", db.NumShards(), st.Features, st.Fragments)
+
+	srv, err := server.New(server.Config{
+		Backend:     db,
+		CacheSize:   *cache,
+		MaxInFlight: *inflight,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("listening on %s", *addr)
+	if err := srv.Run(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// shardIndexPath names shard i's index file for an n-shard layout; the
+// shard count is baked into the name so a -shards change forces a rebuild
+// instead of a mismatched load.
+func shardIndexPath(dir string, i, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.pisidx", i, n))
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest") }
+
+// dbFingerprint hashes the full database contents. Saved indexes are only
+// valid for the exact graphs they were built over; a matching graph count
+// alone is not enough (same-size database with different contents would
+// load cleanly and then silently drop true answers).
+func dbFingerprint(graphs []*pis.Graph) (string, error) {
+	h := fnv.New64a()
+	if err := pis.WriteDatabase(h, graphs); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// openSharded loads the per-shard indexes from dir when they are present
+// and the manifest fingerprint matches the database, otherwise builds
+// from scratch (and saves to dir when given).
+func openSharded(graphs []*pis.Graph, nShards int, opts pis.Options, dir string) (*pis.Sharded, error) {
+	if nShards > len(graphs) {
+		nShards = len(graphs)
+	}
+	fp, err := dbFingerprint(graphs)
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		saved, err := os.ReadFile(manifestPath(dir))
+		switch {
+		case err == nil && string(saved) != fp:
+			log.Printf("index dir %s was built for a different database (fingerprint %s, want %s); rebuilding",
+				dir, saved, fp)
+		case err == nil:
+			if db, err := loadFromDir(graphs, nShards, opts, dir); err == nil {
+				log.Printf("loaded %d shard indexes from %s", nShards, dir)
+				return db, nil
+			} else if !os.IsNotExist(err) {
+				return nil, err
+			}
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	start := time.Now()
+	db, err := pis.NewSharded(graphs, nShards, opts)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("built %d shard indexes in %v", db.NumShards(), time.Since(start))
+	if dir != "" {
+		if err := saveToDir(db, dir, fp); err != nil {
+			return nil, err
+		}
+		log.Printf("saved shard indexes to %s", dir)
+	}
+	return db, nil
+}
+
+func loadFromDir(graphs []*pis.Graph, nShards int, opts pis.Options, dir string) (*pis.Sharded, error) {
+	files := make([]*os.File, 0, nShards)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	readers := make([]io.Reader, 0, nShards)
+	for i := 0; i < nShards; i++ {
+		f, err := os.Open(shardIndexPath(dir, i, nShards))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	return pis.LoadShardedIndex(graphs, readers, opts)
+}
+
+func saveToDir(db *pis.Sharded, dir, fingerprint string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := db.NumShards()
+	for i := 0; i < n; i++ {
+		f, err := os.Create(shardIndexPath(dir, i, n))
+		if err != nil {
+			return err
+		}
+		if err := db.SaveShardIndex(i, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	// The manifest is written last: a crash mid-save leaves no fingerprint
+	// and the next start rebuilds instead of loading a partial set.
+	return os.WriteFile(manifestPath(dir), []byte(fingerprint), 0o644)
+}

@@ -1,0 +1,3 @@
+module pis
+
+go 1.24

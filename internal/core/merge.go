@@ -1,0 +1,68 @@
+// Result and Stats merging for sharded search. A sharded database splits
+// the graph list into contiguous slices, runs the PIS pipeline per shard
+// with shard-local graph ids, and stitches the per-shard outcomes back
+// into one Result whose ids are global. The helpers here keep that
+// stitching in one place so every fan-out caller (threshold search, batch,
+// kNN) aggregates the same way.
+
+package core
+
+// Add accumulates another query's counters into s. Counts sum; durations
+// sum as well, so on a fan-out the totals read as aggregate CPU time
+// across shards, not wall-clock time.
+func (s *Stats) Add(o Stats) {
+	s.QueryFragments += o.QueryFragments
+	s.UsedFragments += o.UsedFragments
+	s.PartitionSize += o.PartitionSize
+	s.StructCandidates += o.StructCandidates
+	s.DistCandidates += o.DistCandidates
+	s.Verified += o.Verified
+	s.FilterTime += o.FilterTime
+	s.VerifyTime += o.VerifyTime
+}
+
+// Shifted returns a copy of r with every graph id offset by delta,
+// translating shard-local ids to global ids. The slices are copied; r is
+// not mutated.
+func (r Result) Shifted(delta int32) Result {
+	out := r
+	if r.Answers != nil {
+		out.Answers = make([]int32, len(r.Answers))
+		for i, id := range r.Answers {
+			out.Answers[i] = id + delta
+		}
+	}
+	out.Distances = append([]float64(nil), r.Distances...)
+	out.Candidates = make([]int32, len(r.Candidates))
+	for i, id := range r.Candidates {
+		out.Candidates[i] = id + delta
+	}
+	return out
+}
+
+// MergeResults concatenates per-shard results whose ids are already
+// global and ascending within each part, with parts ordered by shard
+// (so the concatenation stays ascending). Stats are summed. Answers is
+// non-nil in the merge iff it is non-nil in every part (verification ran
+// everywhere).
+func MergeResults(parts []Result) Result {
+	var out Result
+	answered := true
+	for _, p := range parts {
+		if p.Answers == nil {
+			answered = false
+		}
+	}
+	if answered {
+		out.Answers = []int32{}
+	}
+	for _, p := range parts {
+		if answered {
+			out.Answers = append(out.Answers, p.Answers...)
+			out.Distances = append(out.Distances, p.Distances...)
+		}
+		out.Candidates = append(out.Candidates, p.Candidates...)
+		out.Stats.Add(p.Stats)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{QueryFragments: 1, UsedFragments: 2, PartitionSize: 3,
+		StructCandidates: 4, DistCandidates: 5, Verified: 6,
+		FilterTime: time.Millisecond, VerifyTime: 2 * time.Millisecond}
+	b := Stats{QueryFragments: 10, UsedFragments: 20, PartitionSize: 30,
+		StructCandidates: 40, DistCandidates: 50, Verified: 60,
+		FilterTime: 3 * time.Millisecond, VerifyTime: 4 * time.Millisecond}
+	a.Add(b)
+	want := Stats{QueryFragments: 11, UsedFragments: 22, PartitionSize: 33,
+		StructCandidates: 44, DistCandidates: 55, Verified: 66,
+		FilterTime: 4 * time.Millisecond, VerifyTime: 6 * time.Millisecond}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+func TestResultShifted(t *testing.T) {
+	r := Result{
+		Answers:    []int32{0, 2},
+		Distances:  []float64{0, 1.5},
+		Candidates: []int32{0, 1, 2},
+	}
+	s := r.Shifted(10)
+	if got, want := s.Answers, []int32{10, 12}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Answers: got %v, want %v", got, want)
+	}
+	if got, want := s.Candidates, []int32{10, 11, 12}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Candidates: got %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(s.Distances, r.Distances) {
+		t.Errorf("Distances changed: %v", s.Distances)
+	}
+	// The original must be untouched.
+	if got, want := r.Answers, []int32{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Shifted mutated the receiver: %v", r.Answers)
+	}
+}
+
+func TestResultShiftedNilAnswers(t *testing.T) {
+	r := Result{Candidates: []int32{1}}
+	if s := r.Shifted(5); s.Answers != nil {
+		t.Fatalf("nil Answers should stay nil, got %v", s.Answers)
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	parts := []Result{
+		{Answers: []int32{0, 1}, Distances: []float64{0, 1}, Candidates: []int32{0, 1, 2},
+			Stats: Stats{Verified: 3}},
+		{Answers: []int32{7}, Distances: []float64{2}, Candidates: []int32{7},
+			Stats: Stats{Verified: 1}},
+	}
+	m := MergeResults(parts)
+	if got, want := m.Answers, []int32{0, 1, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Answers: got %v, want %v", got, want)
+	}
+	if got, want := m.Distances, []float64{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Distances: got %v, want %v", got, want)
+	}
+	if got, want := m.Candidates, []int32{0, 1, 2, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Candidates: got %v, want %v", got, want)
+	}
+	if m.Stats.Verified != 4 {
+		t.Errorf("Stats.Verified: got %d, want 4", m.Stats.Verified)
+	}
+}
+
+func TestMergeResultsUnverifiedPart(t *testing.T) {
+	parts := []Result{
+		{Answers: []int32{0}, Distances: []float64{0}, Candidates: []int32{0}},
+		{Candidates: []int32{5}}, // verification skipped in this part
+	}
+	if m := MergeResults(parts); m.Answers != nil {
+		t.Fatalf("merge with an unverified part should have nil Answers, got %v", m.Answers)
+	}
+}
+
+func TestMergeResultsEmptyAnswerSets(t *testing.T) {
+	parts := []Result{
+		{Answers: []int32{}, Candidates: []int32{}},
+		{Answers: []int32{}, Candidates: []int32{}},
+	}
+	m := MergeResults(parts)
+	if m.Answers == nil || len(m.Answers) != 0 {
+		t.Fatalf("want non-nil empty Answers, got %v", m.Answers)
+	}
+}

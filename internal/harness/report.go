@@ -1,0 +1,109 @@
+// Machine-readable benchmark report. pisbench writes one of these as
+// BENCH_pis.json next to its human-readable tables so the performance
+// trajectory (build time, per-stage filtering cost, candidates per stage,
+// throughput) can be tracked across changes without parsing text output.
+
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"pis/internal/chem"
+	"pis/internal/core"
+)
+
+// BenchReport is the serialized outcome of one timed workload.
+type BenchReport struct {
+	// Dataset parameters.
+	DBSize           int     `json:"db_size"`
+	Seed             int64   `json:"seed"`
+	Queries          int     `json:"queries"`
+	QueryEdges       int     `json:"query_edges"`
+	Sigma            float64 `json:"sigma"`
+	MaxFragmentEdges int     `json:"max_fragment_edges"`
+
+	// Index construction.
+	Features  int     `json:"features"`
+	BuildMS   float64 `json:"build_ms"`
+	Fragments int     `json:"index_fragments"`
+	Sequences int     `json:"index_sequences"`
+
+	// Per-stage averages over the query set.
+	AvgQueryFragments   float64 `json:"avg_query_fragments"`
+	AvgStructCandidates float64 `json:"avg_struct_candidates"`
+	AvgDistCandidates   float64 `json:"avg_dist_candidates"`
+	AvgVerified         float64 `json:"avg_verified"`
+	AvgAnswers          float64 `json:"avg_answers"`
+	AvgFilterMS         float64 `json:"avg_filter_ms"`
+	AvgVerifyMS         float64 `json:"avg_verify_ms"`
+
+	// End-to-end throughput (filter + verify, serial).
+	TotalMS       float64 `json:"total_ms"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// Measure runs the full pipeline (filter + verification) over a sampled
+// query workload and aggregates per-stage counters and timings.
+// queryEdges is clamped to the largest database graph — SampleQueries
+// retries until it has enough queries, so an unsatisfiable size would
+// spin forever.
+func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
+	cfg := env.Config
+	maxM := 0
+	for _, g := range env.DB {
+		if g.M() > maxM {
+			maxM = g.M()
+		}
+	}
+	if queryEdges > maxM {
+		queryEdges = maxM
+	}
+	qs := chem.SampleQueries(env.DB, cfg.Queries, queryEdges, cfg.Seed+7)
+	s := core.NewSearcher(env.DB, env.Index, core.Options{
+		Lambda: cfg.Lambda, PartitionK: cfg.PartitionK,
+	})
+	ist := env.Index.Stats()
+	rep := BenchReport{
+		DBSize:           cfg.DBSize,
+		Seed:             cfg.Seed,
+		Queries:          len(qs),
+		QueryEdges:       queryEdges,
+		Sigma:            sigma,
+		MaxFragmentEdges: cfg.MaxFragmentEdges,
+		Features:         len(env.Features),
+		BuildMS:          ms(env.BuildDur),
+		Fragments:        ist.Fragments,
+		Sequences:        ist.Sequences,
+	}
+	start := time.Now()
+	var agg core.Stats
+	answers := 0
+	for _, q := range qs {
+		r := s.Search(q, sigma)
+		agg.Add(r.Stats)
+		answers += len(r.Answers)
+	}
+	wall := time.Since(start)
+	n := float64(len(qs))
+	rep.AvgQueryFragments = float64(agg.QueryFragments) / n
+	rep.AvgStructCandidates = float64(agg.StructCandidates) / n
+	rep.AvgDistCandidates = float64(agg.DistCandidates) / n
+	rep.AvgVerified = float64(agg.Verified) / n
+	rep.AvgAnswers = float64(answers) / n
+	rep.AvgFilterMS = ms(agg.FilterTime) / n
+	rep.AvgVerifyMS = ms(agg.VerifyTime) / n
+	rep.TotalMS = ms(wall)
+	rep.QueriesPerSec = n / wall.Seconds()
+	return rep
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,273 @@
+// Package shard runs the PIS pipeline over a horizontally partitioned
+// graph database. The database is split into contiguous shards, each with
+// its own mined feature set and fragment index; a query fans out to every
+// shard and the per-shard results are stitched back together with global
+// graph ids.
+//
+// Because PIS verification is exact, per-shard feature sets may differ
+// (each shard mines on its own slice) without changing the answer set:
+// filtering quality varies, answers do not. That is what makes the
+// fan-out embarrassingly parallel and the merge a pure concatenation.
+//
+// kNN merges across shards with a shrinking radius: once k neighbors are
+// in hand, no later shard is searched beyond the current k-th best
+// distance, so shards after the first typically run a single cheap range
+// pass.
+package shard
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pis/internal/core"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/mining"
+)
+
+// Config carries the per-shard build parameters. The caller (pis.NewSharded)
+// normalizes defaults; this package applies them verbatim to every shard.
+type Config struct {
+	// Mining configures feature mining, run independently on each shard's
+	// slice of the database.
+	Mining mining.Options
+	// Index configures the per-class index (kind + metric).
+	Index index.Options
+	// Core tunes the filtering stage of every shard's searcher.
+	Core core.Options
+	// IndexWorkers is the BuildParallel worker count within one shard
+	// (0 = GOMAXPROCS, 1 = serial).
+	IndexWorkers int
+}
+
+// Range is one contiguous shard slice [Start, End) of the database.
+type Range struct{ Start, End int }
+
+// Split divides n graphs into k contiguous ranges whose sizes differ by at
+// most one. k is clamped to [1, n]; every range is non-empty.
+func Split(n, k int) []Range {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, k)
+	for i := 0; i < k; i++ {
+		out[i] = Range{Start: i * n / k, End: (i + 1) * n / k}
+	}
+	return out
+}
+
+// Shard is one database slice with its own index and searcher. Graph ids
+// inside Searcher are shard-local; Start translates them to global ids.
+type Shard struct {
+	Start    int32
+	Graphs   []*graph.Graph
+	Index    *index.Index
+	Searcher *core.Searcher
+}
+
+// DB is a sharded PIS database.
+type DB struct {
+	graphs []*graph.Graph
+	shards []*Shard
+}
+
+// New splits graphs into nShards contiguous shards and builds every
+// shard's index concurrently (one goroutine per shard, each running
+// index.BuildParallel with cfg.IndexWorkers).
+func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("shard: empty database")
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("shard: nShards must be >= 1, got %d", nShards)
+	}
+	ranges := Split(len(graphs), nShards)
+	shards := make([]*Shard, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg Range) {
+			defer wg.Done()
+			shards[i], errs[i] = buildShard(graphs[rg.Start:rg.End], rg.Start, cfg)
+		}(i, rg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d [%d,%d): %w", i, ranges[i].Start, ranges[i].End, err)
+		}
+	}
+	return &DB{graphs: graphs, shards: shards}, nil
+}
+
+func buildShard(slice []*graph.Graph, start int, cfg Config) (*Shard, error) {
+	feats, err := mining.Mine(slice, cfg.Mining)
+	if err != nil {
+		return nil, fmt.Errorf("mining features: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("no features met the support threshold; lower MinSupportFraction or use fewer shards")
+	}
+	idx, err := index.BuildParallel(slice, feats, cfg.Index, cfg.IndexWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("building index: %w", err)
+	}
+	return &Shard{
+		Start:    int32(start),
+		Graphs:   slice,
+		Index:    idx,
+		Searcher: core.NewSearcher(slice, idx, cfg.Core),
+	}, nil
+}
+
+// Load reconstructs a sharded database from one index stream per shard,
+// written by SaveShard in shard order. The shard layout is recomputed with
+// Split(len(graphs), len(readers)) and each stream's recorded size must
+// match its slice, so a mismatched database or shard count fails loudly.
+func Load(graphs []*graph.Graph, readers []io.Reader, metric distance.Metric, copts core.Options) (*DB, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("shard: empty database")
+	}
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("shard: no index streams")
+	}
+	if len(readers) > len(graphs) {
+		return nil, fmt.Errorf("shard: %d index streams for %d graphs", len(readers), len(graphs))
+	}
+	ranges := Split(len(graphs), len(readers))
+	shards := make([]*Shard, len(ranges))
+	for i, rg := range ranges {
+		idx, err := index.Load(readers[i], metric)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if idx.DBSize() != rg.End-rg.Start {
+			return nil, fmt.Errorf("shard %d: index covers %d graphs, slice has %d",
+				i, idx.DBSize(), rg.End-rg.Start)
+		}
+		slice := graphs[rg.Start:rg.End]
+		shards[i] = &Shard{
+			Start:    int32(rg.Start),
+			Graphs:   slice,
+			Index:    idx,
+			Searcher: core.NewSearcher(slice, idx, copts),
+		}
+	}
+	return &DB{graphs: graphs, shards: shards}, nil
+}
+
+// SaveShard writes shard i's index to w; Load restores a database from the
+// streams of all shards in order.
+func (d *DB) SaveShard(i int, w io.Writer) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("shard: no shard %d (have %d)", i, len(d.shards))
+	}
+	return d.shards[i].Index.Save(w)
+}
+
+// NumShards returns the shard count.
+func (d *DB) NumShards() int { return len(d.shards) }
+
+// Len returns the total number of graphs.
+func (d *DB) Len() int { return len(d.graphs) }
+
+// Graph returns the graph with the given global id.
+func (d *DB) Graph(id int32) *graph.Graph { return d.graphs[id] }
+
+// Search fans the query out to every shard concurrently and merges the
+// per-shard results into one Result with global ids. The answer set is
+// identical to an unsharded search over the same graphs.
+func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
+	parts := make([]core.Result, len(d.shards))
+	var wg sync.WaitGroup
+	for i, sh := range d.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			parts[i] = sh.Searcher.Search(q, sigma).Shifted(sh.Start)
+		}(i, sh)
+	}
+	wg.Wait()
+	return core.MergeResults(parts)
+}
+
+// SearchBatch answers many queries, each fanning out across all shards,
+// with at most workers queries in flight at once (0 = GOMAXPROCS, the
+// same default as the unsharded batch).
+func (d *DB) SearchBatch(queries []*graph.Graph, sigma float64, workers int) []core.Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]core.Result, len(queries))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *graph.Graph) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = d.Search(q, sigma)
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+// SearchKNN returns the k nearest graphs under the superimposed distance,
+// closest first (ties by ascending global id), searching no farther than
+// maxSigma. Shards are visited in order with a shrinking radius: once k
+// neighbors are known, shard i+1 is searched no farther than the current
+// k-th best distance, and that radius is also used to seed the shard's
+// threshold expansion so the pass is a single range query.
+func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor {
+	if k <= 0 || maxSigma < 0 {
+		return nil
+	}
+	radius := maxSigma
+	var best []core.Neighbor
+	for _, sh := range d.shards {
+		start := 0.0
+		if len(best) >= k {
+			// Radius already tight: one pass at exactly the bound suffices.
+			start = radius
+		}
+		ns := sh.Searcher.SearchKNN(q, k, start, radius)
+		for _, n := range ns {
+			best = append(best, core.Neighbor{ID: n.ID + sh.Start, Distance: n.Distance})
+		}
+		sort.SliceStable(best, func(i, j int) bool {
+			if best[i].Distance != best[j].Distance {
+				return best[i].Distance < best[j].Distance
+			}
+			return best[i].ID < best[j].ID
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) == k {
+			radius = best[k-1].Distance
+		}
+	}
+	return best
+}
+
+// Stats sums the per-shard index counters.
+func (d *DB) Stats() index.Stats {
+	var total index.Stats
+	for _, sh := range d.shards {
+		s := sh.Index.Stats()
+		total.Classes += s.Classes
+		total.Fragments += s.Fragments
+		total.Sequences += s.Sequences
+	}
+	return total
+}

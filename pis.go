@@ -17,6 +17,12 @@
 // with ReadDatabase. Baselines (SearchNaive, SearchTopoPrune) return the
 // same answers and exist for comparison, exactly as in the paper's
 // evaluation.
+//
+// For large databases, NewSharded partitions the graphs into contiguous
+// shards indexed and searched in parallel, and the server package plus the
+// pisserved command expose a sharded database over an HTTP JSON API with a
+// canonical-query result cache. See README.md at the repository root for a
+// quickstart, the transaction file format, and server usage.
 package pis
 
 import (
@@ -30,6 +36,7 @@ import (
 	"pis/internal/graph"
 	"pis/internal/index"
 	"pis/internal/mining"
+	"pis/internal/shard"
 )
 
 // Re-exported graph construction types. Users build labeled undirected
@@ -133,36 +140,58 @@ type Database struct {
 	searcher *core.Searcher
 }
 
+// withDefaults fills the zero-value construction knobs with the paper's
+// defaults, shared by New and NewSharded.
+func (o Options) withDefaults() Options {
+	if o.Metric == nil {
+		o.Metric = EdgeMutation
+	}
+	if o.MaxFragmentEdges <= 0 {
+		o.MaxFragmentEdges = 5
+	}
+	if o.MinFragmentEdges <= 0 {
+		o.MinFragmentEdges = 2
+	}
+	if o.MinSupportFraction <= 0 {
+		o.MinSupportFraction = 0.05
+	}
+	if o.MiningSample <= 0 {
+		o.MiningSample = 300
+	}
+	return o
+}
+
+// miningOptions translates the public knobs to the mining package.
+func (o Options) miningOptions() mining.Options {
+	return mining.Options{
+		MaxEdges:           o.MaxFragmentEdges,
+		MinEdges:           o.MinFragmentEdges,
+		MinSupportFraction: o.MinSupportFraction,
+		SampleSize:         o.MiningSample,
+		Gamma:              o.Gamma,
+		PathsOnly:          o.PathFeaturesOnly,
+		UseGSpan:           o.UseGSpan,
+	}
+}
+
+// coreOptions translates the search-stage knobs to the core package.
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Epsilon:              o.Epsilon,
+		Lambda:               o.Lambda,
+		PartitionK:           o.PartitionK,
+		MaxFragmentsPerQuery: o.MaxFragmentsPerQuery,
+	}
+}
+
 // New indexes the given graphs. The slice is retained; do not mutate the
 // graphs afterwards.
 func New(graphs []*Graph, opts Options) (*Database, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("pis: empty database")
 	}
-	if opts.Metric == nil {
-		opts.Metric = EdgeMutation
-	}
-	if opts.MaxFragmentEdges <= 0 {
-		opts.MaxFragmentEdges = 5
-	}
-	if opts.MinFragmentEdges <= 0 {
-		opts.MinFragmentEdges = 2
-	}
-	if opts.MinSupportFraction <= 0 {
-		opts.MinSupportFraction = 0.05
-	}
-	if opts.MiningSample <= 0 {
-		opts.MiningSample = 300
-	}
-	feats, err := mining.Mine(graphs, mining.Options{
-		MaxEdges:           opts.MaxFragmentEdges,
-		MinEdges:           opts.MinFragmentEdges,
-		MinSupportFraction: opts.MinSupportFraction,
-		SampleSize:         opts.MiningSample,
-		Gamma:              opts.Gamma,
-		PathsOnly:          opts.PathFeaturesOnly,
-		UseGSpan:           opts.UseGSpan,
-	})
+	opts = opts.withDefaults()
+	feats, err := mining.Mine(graphs, opts.miningOptions())
 	if err != nil {
 		return nil, fmt.Errorf("pis: mining features: %w", err)
 	}
@@ -174,12 +203,7 @@ func New(graphs []*Graph, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: building index: %w", err)
 	}
-	s := core.NewSearcher(graphs, idx, core.Options{
-		Epsilon:              opts.Epsilon,
-		Lambda:               opts.Lambda,
-		PartitionK:           opts.PartitionK,
-		MaxFragmentsPerQuery: opts.MaxFragmentsPerQuery,
-	})
+	s := core.NewSearcher(graphs, idx, opts.coreOptions())
 	return &Database{graphs: graphs, features: feats, index: idx, searcher: s}, nil
 }
 
@@ -246,8 +270,8 @@ func (db *Database) SearchBatch(queries []*Graph, sigma float64, workers int) []
 		sem <- struct{}{}
 		go func(i int, q *Graph) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			out[i] = db.searcher.Search(q, sigma)
-			<-sem
 		}(i, q)
 	}
 	wg.Wait()
@@ -297,6 +321,102 @@ func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 		MaxFragmentsPerQuery: opts.MaxFragmentsPerQuery,
 	})
 	return &Database{graphs: graphs, index: idx, searcher: s}, nil
+}
+
+// Sharded is an indexed graph database split into contiguous shards, each
+// with its own fragment index, searched with parallel fan-out and merge.
+// It answers exactly like a Database over the same graphs: Search returns
+// the same answer set and SearchKNN the same neighbors in the same order;
+// only the per-stage statistics differ (counters aggregate across shards).
+type Sharded struct {
+	db *shard.DB
+}
+
+// NewSharded splits graphs into nShards contiguous shards and builds every
+// shard's fragment index concurrently. Mining runs per shard on that
+// shard's slice, so feature sets differ across shards — harmless, since
+// verification makes answers exact. nShards is clamped to len(graphs).
+func NewSharded(graphs []*Graph, nShards int, opts Options) (*Sharded, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("pis: empty database")
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("pis: nShards must be >= 1, got %d", nShards)
+	}
+	opts = opts.withDefaults()
+	db, err := shard.New(graphs, nShards, shard.Config{
+		Mining:       opts.miningOptions(),
+		Index:        index.Options{Kind: opts.Kind, Metric: opts.Metric},
+		Core:         opts.coreOptions(),
+		IndexWorkers: opts.BuildWorkers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
+	}
+	return &Sharded{db: db}, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.db.NumShards() }
+
+// Len returns the total number of graphs.
+func (s *Sharded) Len() int { return s.db.Len() }
+
+// Graph returns the graph with the given id (its position in the input).
+func (s *Sharded) Graph(id int32) *Graph { return s.db.Graph(id) }
+
+// Search answers the SSSD query on every shard in parallel and merges the
+// results; ids are global. The query must be connected.
+func (s *Sharded) Search(q *Graph, sigma float64) Result {
+	mustBeConnected(q)
+	return s.db.Search(q, sigma)
+}
+
+// SearchBatch answers many queries concurrently, each fanning out across
+// all shards, with at most workers queries in flight (0 = GOMAXPROCS).
+// Results align with queries.
+func (s *Sharded) SearchBatch(queries []*Graph, sigma float64, workers int) []Result {
+	for _, q := range queries {
+		mustBeConnected(q)
+	}
+	return s.db.SearchBatch(queries, sigma, workers)
+}
+
+// SearchKNN returns the k database graphs nearest to q, closest first,
+// searching no farther than maxSigma. Shards are visited with a shrinking
+// radius bound: after k neighbors are known, later shards are searched no
+// farther than the current k-th best distance.
+func (s *Sharded) SearchKNN(q *Graph, k int, maxSigma float64) []Neighbor {
+	mustBeConnected(q)
+	return s.db.SearchKNN(q, k, maxSigma)
+}
+
+// Stats sums the per-shard index counters. Features counts per-shard
+// feature classes, so the same structure mined by two shards counts twice.
+func (s *Sharded) Stats() IndexStats {
+	st := s.db.Stats()
+	return IndexStats{Features: st.Classes, Fragments: st.Fragments, Sequences: st.Sequences}
+}
+
+// SaveShardIndex serializes shard i's fragment index (0 <= i < NumShards).
+// Writing every shard's stream lets LoadShardedIndex restore the database
+// without re-mining after a restart.
+func (s *Sharded) SaveShardIndex(i int, w io.Writer) error {
+	return s.db.SaveShard(i, w)
+}
+
+// LoadShardedIndex reconstructs a Sharded database from graphs plus one
+// index stream per shard, written by SaveShardIndex in shard order. The
+// graphs must be the exact database the indexes were built over, the shard
+// count is len(readers), and opts.Metric must match the build-time metric;
+// only search-stage options are honored from opts.
+func LoadShardedIndex(graphs []*Graph, readers []io.Reader, opts Options) (*Sharded, error) {
+	opts = opts.withDefaults()
+	db, err := shard.Load(graphs, readers, opts.Metric, opts.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
+	}
+	return &Sharded{db: db}, nil
 }
 
 // ReadDatabase loads graphs in the line-oriented transaction format

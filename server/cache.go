@@ -1,0 +1,123 @@
+// Canonical-query result cache. Two requests hit the same entry whenever
+// their query graphs are isomorphic (same minimum DFS code, same weights
+// up to automorphism) and their search parameters match — vertex order in
+// the request body is irrelevant. The cache is a mutex-guarded LRU sized
+// in entries.
+
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"strconv"
+	"sync"
+
+	"pis"
+	"pis/internal/canon"
+)
+
+// canonicalGraphKey returns a byte string equal for isomorphic graphs and
+// distinct otherwise: the minimum DFS code key plus the lexicographically
+// smallest vertex-label + weight sequence over all canonical embeddings
+// (so weighted graphs only collide when an automorphism maps the weights
+// too). Vertex labels are part of the signature because the DFS code of a
+// single-vertex graph is empty — without them every edge-free query would
+// share one key.
+func canonicalGraphKey(q *pis.Graph) string {
+	code, embs := canon.MinCode(q)
+	key := code.Key()
+	var best []byte
+	buf := make([]byte, 0, 10*(q.N()+q.M()))
+	for _, emb := range embs {
+		buf = buf[:0]
+		for _, v := range emb.Vertices {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(q.VLabelAt(int(v))))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.VWeightAt(int(v))))
+		}
+		for _, e := range emb.Edges {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.EdgeAt(int(e)).Weight))
+		}
+		if best == nil || string(buf) < string(best) {
+			best = append(best[:0], buf...)
+		}
+	}
+	return key + "|" + string(best)
+}
+
+// searchKey keys a threshold query.
+func searchKey(q *pis.Graph, sigma float64) string {
+	return "s|" + strconv.FormatFloat(sigma, 'g', -1, 64) + "|" + canonicalGraphKey(q)
+}
+
+// knnKey keys a kNN query.
+func knnKey(q *pis.Graph, k int, maxSigma float64) string {
+	return "k|" + strconv.Itoa(k) + "|" + strconv.FormatFloat(maxSigma, 'g', -1, 64) +
+		"|" + canonicalGraphKey(q)
+}
+
+// lruCache is a fixed-capacity LRU keyed by string. capacity <= 0 disables
+// it: every Get misses and Put discards.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruEntry
+	entries  map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache stores anything at all. Callers use it
+// to skip key canonicalization — the expensive part — when caching is off.
+func (c *lruCache) Enabled() bool { return c.capacity > 0 }
+
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *lruCache) Put(key string, value any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Counters reports size and hit statistics.
+func (c *lruCache) Counters() (entries int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses
+}

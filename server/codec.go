@@ -1,0 +1,147 @@
+// JSON wire format for graphs and the request/response bodies of every
+// endpoint. The types are exported so clients (cmd/pisquery -serve-addr,
+// examples/serveclient) marshal exactly what the server parses.
+
+package server
+
+import (
+	"fmt"
+
+	"pis"
+)
+
+// VertexJSON is one labeled (optionally weighted) vertex.
+type VertexJSON struct {
+	Label  uint16  `json:"label"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// EdgeJSON is one labeled (optionally weighted) undirected edge.
+type EdgeJSON struct {
+	U      int32   `json:"u"`
+	V      int32   `json:"v"`
+	Label  uint16  `json:"label"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// GraphJSON is the wire form of a labeled undirected graph.
+type GraphJSON struct {
+	Vertices []VertexJSON `json:"vertices"`
+	Edges    []EdgeJSON   `json:"edges"`
+}
+
+// EncodeGraph converts a graph to its wire form.
+func EncodeGraph(g *pis.Graph) GraphJSON {
+	out := GraphJSON{
+		Vertices: make([]VertexJSON, g.N()),
+		Edges:    make([]EdgeJSON, g.M()),
+	}
+	for v := 0; v < g.N(); v++ {
+		out.Vertices[v] = VertexJSON{Label: uint16(g.VLabelAt(v)), Weight: g.VWeightAt(v)}
+	}
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeAt(e)
+		out.Edges[e] = EdgeJSON{U: ed.U, V: ed.V, Label: uint16(ed.Label), Weight: ed.Weight}
+	}
+	return out
+}
+
+// DecodeGraph converts the wire form back to a graph, validating edge
+// endpoints.
+func DecodeGraph(gj GraphJSON) (*pis.Graph, error) {
+	n := len(gj.Vertices)
+	b := pis.NewGraphBuilder(n, len(gj.Edges))
+	for _, v := range gj.Vertices {
+		b.AddWeightedVertex(pis.VLabel(v.Label), v.Weight)
+	}
+	for _, e := range gj.Edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("edge (%d,%d) out of range for %d vertices", e.U, e.V, n)
+		}
+		b.AddWeightedEdge(e.U, e.V, pis.ELabel(e.Label), e.Weight)
+	}
+	return b.Build()
+}
+
+// SearchRequest is the body of POST /search.
+type SearchRequest struct {
+	Query GraphJSON `json:"query"`
+	Sigma float64   `json:"sigma"`
+}
+
+// StatsJSON reports the per-stage counters of one query in wire form
+// (durations in milliseconds).
+type StatsJSON struct {
+	QueryFragments   int     `json:"query_fragments"`
+	UsedFragments    int     `json:"used_fragments"`
+	PartitionSize    int     `json:"partition_size"`
+	StructCandidates int     `json:"struct_candidates"`
+	DistCandidates   int     `json:"dist_candidates"`
+	Verified         int     `json:"verified"`
+	FilterMS         float64 `json:"filter_ms"`
+	VerifyMS         float64 `json:"verify_ms"`
+}
+
+func encodeStats(s pis.SearchStats) StatsJSON {
+	return StatsJSON{
+		QueryFragments:   s.QueryFragments,
+		UsedFragments:    s.UsedFragments,
+		PartitionSize:    s.PartitionSize,
+		StructCandidates: s.StructCandidates,
+		DistCandidates:   s.DistCandidates,
+		Verified:         s.Verified,
+		FilterMS:         float64(s.FilterTime.Microseconds()) / 1000,
+		VerifyMS:         float64(s.VerifyTime.Microseconds()) / 1000,
+	}
+}
+
+// SearchResponse is the body returned by POST /search and, per query, by
+// POST /batch.
+type SearchResponse struct {
+	Answers   []int32   `json:"answers"`
+	Distances []float64 `json:"distances"`
+	Stats     StatsJSON `json:"stats"`
+	Cached    bool      `json:"cached"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// KNNRequest is the body of POST /knn.
+type KNNRequest struct {
+	Query    GraphJSON `json:"query"`
+	K        int       `json:"k"`
+	MaxSigma float64   `json:"max_sigma"`
+}
+
+// NeighborJSON is one kNN result.
+type NeighborJSON struct {
+	ID       int32   `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// KNNResponse is the body returned by POST /knn.
+type KNNResponse struct {
+	Neighbors []NeighborJSON `json:"neighbors"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// BatchRequest is the body of POST /batch.
+type BatchRequest struct {
+	Queries []GraphJSON `json:"queries"`
+	Sigma   float64     `json:"sigma"`
+	// Workers bounds concurrent queries within the batch (0 = server
+	// default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /batch; Results align with
+// Queries.
+type BatchResponse struct {
+	Results   []SearchResponse `json:"results"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,435 @@
+// Package server exposes a PIS graph database — typically a sharded one —
+// over an HTTP JSON API:
+//
+//	POST /search       {"query": {...}, "sigma": 2}
+//	POST /knn          {"query": {...}, "k": 5, "max_sigma": 8}
+//	POST /batch        {"queries": [{...}, ...], "sigma": 2}
+//	GET  /graphs/{id}  one database graph
+//	GET  /stats        index, cache, and per-endpoint request counters
+//	GET  /healthz      liveness probe
+//
+// Search and kNN results are cached in an LRU keyed by the query's
+// canonical form (minimum DFS code plus weights) and the search
+// parameters, so isomorphic queries submitted with different vertex
+// orders share one entry. An optional in-flight limit bounds concurrent
+// query execution; Run serves with graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pis"
+)
+
+// Backend is the database surface the server needs. Both *pis.Database and
+// *pis.Sharded implement it.
+type Backend interface {
+	Len() int
+	Graph(id int32) *pis.Graph
+	Search(q *pis.Graph, sigma float64) pis.Result
+	SearchBatch(queries []*pis.Graph, sigma float64, workers int) []pis.Result
+	SearchKNN(q *pis.Graph, k int, maxSigma float64) []pis.Neighbor
+	Stats() pis.IndexStats
+}
+
+// Config configures a Server.
+type Config struct {
+	// Backend answers the queries (required).
+	Backend Backend
+	// CacheSize is the result-cache capacity in entries (0 disables
+	// caching; negative is treated as 0).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing query requests across
+	// /search, /knn, and /batch (0 = unlimited). Excess requests wait;
+	// a request whose context is canceled while waiting gets 503.
+	MaxInFlight int
+	// BatchWorkers is the default per-batch concurrency when a /batch
+	// request does not specify workers (0 = the backend's default,
+	// GOMAXPROCS).
+	BatchWorkers int
+}
+
+// maxRequestBody bounds a request body; a /batch of thousands of
+// molecule-sized queries fits comfortably.
+const maxRequestBody = 32 << 20
+
+// endpointMetrics accumulates request timing for one route.
+type endpointMetrics struct {
+	Count   int64
+	Errors  int64
+	TotalNS int64
+}
+
+// Server is an http.Handler serving the PIS query API.
+type Server struct {
+	backend Backend
+	cfg     Config
+	cache   *lruCache
+	sem     chan struct{}
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu      sync.Mutex
+	metrics map[string]*endpointMetrics
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("server: Backend is required")
+	}
+	if cfg.CacheSize < 0 {
+		cfg.CacheSize = 0
+	}
+	s := &Server{
+		backend: cfg.Backend,
+		cfg:     cfg,
+		cache:   newLRUCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.mux.HandleFunc("POST /search", s.instrument("search", true, s.handleSearch))
+	s.mux.HandleFunc("POST /knn", s.instrument("knn", true, s.handleKNN))
+	s.mux.HandleFunc("POST /batch", s.instrument("batch", true, s.handleBatch))
+	s.mux.HandleFunc("GET /graphs/{id}", s.instrument("graphs", false, s.handleGraph))
+	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Run serves on addr until ctx is canceled, then shuts down gracefully,
+// draining in-flight requests for up to 10 seconds. It returns nil on a
+// clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// statusWriter captures the response status for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request timing and, when limited is
+// true, the in-flight semaphore.
+func (s *Server) instrument(name string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, "server overloaded, request canceled while queued")
+				return
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		m := s.metrics[name]
+		if m == nil {
+			m = &endpointMetrics{}
+			s.metrics[name] = m
+		}
+		m.Count++
+		m.TotalNS += elapsed.Nanoseconds()
+		if sw.status >= 400 {
+			m.Errors++
+		}
+		s.mu.Unlock()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeBody parses the JSON request body into v with a size cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// decodeQuery converts and validates one wire-format query graph.
+func decodeQuery(w http.ResponseWriter, gj GraphJSON) (*pis.Graph, bool) {
+	q, err := DecodeGraph(gj)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query graph: "+err.Error())
+		return nil, false
+	}
+	if q.N() == 0 || !q.Connected() {
+		writeError(w, http.StatusBadRequest, "query graph must be non-empty and connected")
+		return nil, false
+	}
+	return q, true
+}
+
+// cacheSearchResult converts a raw result to its wire form and stores it
+// under key; /search and /batch share it so both routes always agree.
+func (s *Server) cacheSearchResult(key string, r pis.Result) SearchResponse {
+	resp := SearchResponse{
+		Answers:   r.Answers,
+		Distances: r.Distances,
+		Stats:     encodeStats(r.Stats),
+	}
+	if resp.Distances == nil {
+		resp.Distances = []float64{}
+	}
+	s.cache.Put(key, resp)
+	return resp
+}
+
+func (s *Server) searchResponse(q *pis.Graph, sigma float64) SearchResponse {
+	var key string
+	if s.cache.Enabled() {
+		key = searchKey(q, sigma)
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(SearchResponse)
+			resp.Cached = true
+			return resp
+		}
+	}
+	return s.cacheSearchResult(key, s.backend.Search(q, sigma))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Sigma < 0 {
+		writeError(w, http.StatusBadRequest, "sigma must be >= 0")
+		return
+	}
+	q, ok := decodeQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	resp := s.searchResponse(q, req.Sigma)
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1")
+		return
+	}
+	if req.MaxSigma <= 0 {
+		writeError(w, http.StatusBadRequest, "max_sigma must be > 0")
+		return
+	}
+	q, ok := decodeQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	var key string
+	if s.cache.Enabled() {
+		key = knnKey(q, req.K, req.MaxSigma)
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(KNNResponse)
+			resp.Cached = true
+			resp.ElapsedMS = msSince(start)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ns := s.backend.SearchKNN(q, req.K, req.MaxSigma)
+	resp := KNNResponse{Neighbors: make([]NeighborJSON, len(ns))}
+	for i, n := range ns {
+		resp.Neighbors[i] = NeighborJSON{ID: n.ID, Distance: n.Distance}
+	}
+	s.cache.Put(key, resp)
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Sigma < 0 {
+		writeError(w, http.StatusBadRequest, "sigma must be >= 0")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	queries := make([]*pis.Graph, len(req.Queries))
+	for i, gj := range req.Queries {
+		q, ok := decodeQuery(w, gj)
+		if !ok {
+			return
+		}
+		queries[i] = q
+	}
+	start := time.Now()
+	results := make([]SearchResponse, len(queries))
+
+	// Serve cached queries immediately; run the misses as one batch. Keys
+	// are canonicalized once and reused when storing the miss results.
+	var missIdx []int
+	var missQueries []*pis.Graph
+	var missKeys []string
+	for i, q := range queries {
+		if s.cache.Enabled() {
+			key := searchKey(q, req.Sigma)
+			if v, ok := s.cache.Get(key); ok {
+				results[i] = v.(SearchResponse)
+				results[i].Cached = true
+				continue
+			}
+			missKeys = append(missKeys, key)
+		} else {
+			missKeys = append(missKeys, "")
+		}
+		missIdx = append(missIdx, i)
+		missQueries = append(missQueries, q)
+	}
+	if len(missQueries) > 0 {
+		workers := req.Workers
+		if workers <= 0 {
+			workers = s.cfg.BatchWorkers // 0 falls through to the backend default
+		}
+		rs := s.backend.SearchBatch(missQueries, req.Sigma, workers)
+		for j, r := range rs {
+			results[missIdx[j]] = s.cacheSearchResult(missKeys[j], r)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ElapsedMS: msSince(start)})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.backend.Len() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no graph %q (database holds ids 0..%d)",
+			r.PathValue("id"), s.backend.Len()-1))
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeGraph(s.backend.Graph(int32(id))))
+}
+
+// IndexStatsJSON is the wire form of pis.IndexStats.
+type IndexStatsJSON struct {
+	Features  int `json:"features"`
+	Fragments int `json:"fragments"`
+	Sequences int `json:"sequences"`
+}
+
+// CacheStatsJSON reports result-cache occupancy and effectiveness.
+type CacheStatsJSON struct {
+	Capacity int   `json:"capacity"`
+	Entries  int   `json:"entries"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// EndpointStatsJSON reports request timing for one route.
+type EndpointStatsJSON struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+}
+
+// ServerStats is the body of GET /stats.
+type ServerStats struct {
+	Graphs        int                          `json:"graphs"`
+	Shards        int                          `json:"shards,omitempty"`
+	Index         IndexStatsJSON               `json:"index"`
+	Cache         CacheStatsJSON               `json:"cache"`
+	Requests      map[string]EndpointStatsJSON `json:"requests"`
+	InFlightLimit int                          `json:"inflight_limit,omitempty"`
+	UptimeMS      float64                      `json:"uptime_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ist := s.backend.Stats()
+	entries, hits, misses := s.cache.Counters()
+	out := ServerStats{
+		Graphs: s.backend.Len(),
+		Index:  IndexStatsJSON{Features: ist.Features, Fragments: ist.Fragments, Sequences: ist.Sequences},
+		Cache: CacheStatsJSON{
+			Capacity: s.cfg.CacheSize,
+			Entries:  entries,
+			Hits:     hits,
+			Misses:   misses,
+		},
+		Requests:      make(map[string]EndpointStatsJSON),
+		InFlightLimit: s.cfg.MaxInFlight,
+		UptimeMS:      msSince(s.start),
+	}
+	if sh, ok := s.backend.(interface{ NumShards() int }); ok {
+		out.Shards = sh.NumShards()
+	}
+	s.mu.Lock()
+	for name, m := range s.metrics {
+		e := EndpointStatsJSON{
+			Count:   m.Count,
+			Errors:  m.Errors,
+			TotalMS: float64(m.TotalNS) / 1e6,
+		}
+		if m.Count > 0 {
+			e.AvgMS = e.TotalMS / float64(m.Count)
+		}
+		out.Requests[name] = e
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}

@@ -1,0 +1,456 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pis"
+	"pis/gen"
+)
+
+var (
+	envOnce   sync.Once
+	envGraphs []*pis.Graph
+	envDB     *pis.Sharded
+)
+
+// testEnv builds one small sharded database shared by all tests (the
+// backend is read-only; each test gets its own Server and cache).
+func testEnv(t *testing.T) ([]*pis.Graph, *pis.Sharded) {
+	t.Helper()
+	envOnce.Do(func() {
+		envGraphs = gen.Molecules(40, gen.Config{Seed: 23})
+		db, err := pis.NewSharded(envGraphs, 3, pis.Options{MaxFragmentEdges: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		envDB = db
+	})
+	if envDB == nil {
+		t.Fatal("environment build failed")
+	}
+	return envGraphs, envDB
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	_, db := testEnv(t)
+	if cfg.Backend == nil {
+		cfg.Backend = db
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, req, resp any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.StatusCode
+}
+
+func getJSON(t *testing.T, url string, resp any) int {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.StatusCode
+}
+
+func sampleQuery(t *testing.T, seed int64) *pis.Graph {
+	t.Helper()
+	graphs, _ := testEnv(t)
+	return gen.Queries(graphs, 1, 8, seed)[0]
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", r.StatusCode)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, db := testEnv(t)
+	q := sampleQuery(t, 2)
+	want := db.Search(q, 2)
+
+	var resp SearchResponse
+	if code := postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 2}, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !reflect.DeepEqual(resp.Answers, want.Answers) {
+		t.Errorf("answers %v, want %v", resp.Answers, want.Answers)
+	}
+	if resp.Cached {
+		t.Error("first query must not be cached")
+	}
+	if resp.Stats.Verified != want.Stats.Verified {
+		t.Errorf("verified %d, want %d", resp.Stats.Verified, want.Stats.Verified)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, db := testEnv(t)
+	q := sampleQuery(t, 3)
+	want := db.SearchKNN(q, 3, 8)
+
+	var resp KNNResponse
+	if code := postJSON(t, ts.URL+"/knn", KNNRequest{Query: EncodeGraph(q), K: 3, MaxSigma: 8}, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Neighbors) != len(want) {
+		t.Fatalf("%d neighbors, want %d", len(resp.Neighbors), len(want))
+	}
+	for i, n := range want {
+		if resp.Neighbors[i].ID != n.ID || resp.Neighbors[i].Distance != n.Distance {
+			t.Errorf("neighbor %d: %+v, want %+v", i, resp.Neighbors[i], n)
+		}
+	}
+
+	// Second identical kNN request: served from cache.
+	var again KNNResponse
+	postJSON(t, ts.URL+"/knn", KNNRequest{Query: EncodeGraph(q), K: 3, MaxSigma: 8}, &again)
+	if !again.Cached {
+		t.Error("repeat kNN should be cached")
+	}
+	if !reflect.DeepEqual(again.Neighbors, resp.Neighbors) {
+		t.Error("cached kNN differs from computed")
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	graphs, db := testEnv(t)
+	queries := gen.Queries(graphs, 4, 8, 5)
+	req := BatchRequest{Sigma: 1.5}
+	for _, q := range queries {
+		req.Queries = append(req.Queries, EncodeGraph(q))
+	}
+	var resp BatchResponse
+	if code := postJSON(t, ts.URL+"/batch", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("%d results, want %d", len(resp.Results), len(queries))
+	}
+	for i, q := range queries {
+		want := db.Search(q, 1.5)
+		if !reflect.DeepEqual(resp.Results[i].Answers, want.Answers) {
+			t.Errorf("query %d: %v, want %v", i, resp.Results[i].Answers, want.Answers)
+		}
+	}
+
+	// A /search for one of the batch queries hits the batch-filled cache.
+	var sr SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(queries[0]), Sigma: 1.5}, &sr)
+	if !sr.Cached {
+		t.Error("search after batch with same query+sigma should hit cache")
+	}
+}
+
+func TestGraphsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	graphs, _ := testEnv(t)
+	var gj GraphJSON
+	if code := getJSON(t, ts.URL+"/graphs/5", &gj); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(gj.Vertices) != graphs[5].N() || len(gj.Edges) != graphs[5].M() {
+		t.Errorf("graph 5: %d vertices / %d edges, want %d / %d",
+			len(gj.Vertices), len(gj.Edges), graphs[5].N(), graphs[5].M())
+	}
+	// Round-trip through the codec preserves the structure.
+	back, err := DecodeGraph(gj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != graphs[5].N() || back.M() != graphs[5].M() {
+		t.Error("decode(encode) changed the graph size")
+	}
+	if code := getJSON(t, ts.URL+"/graphs/99999", nil); code != http.StatusNotFound {
+		t.Errorf("out-of-range id: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/graphs/banana", nil); code != http.StatusNotFound {
+		t.Errorf("non-numeric id: status %d, want 404", code)
+	}
+}
+
+// TestCacheHitViaStats drives the acceptance path: a second identical
+// query is served from cache, observable in /stats counters.
+func TestCacheHitViaStats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 7)
+	req := SearchRequest{Query: EncodeGraph(q), Sigma: 2}
+
+	var first, second SearchResponse
+	postJSON(t, ts.URL+"/search", req, &first)
+	postJSON(t, ts.URL+"/search", req, &second)
+	if first.Cached {
+		t.Error("first request must miss")
+	}
+	if !second.Cached {
+		t.Error("second identical request must hit the cache")
+	}
+	if !reflect.DeepEqual(first.Answers, second.Answers) {
+		t.Error("cached answers differ")
+	}
+
+	var st ServerStats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Cache.Entries != 1 {
+		t.Errorf("cache entries %d, want 1", st.Cache.Entries)
+	}
+	if st.Graphs != 40 || st.Shards != 3 {
+		t.Errorf("stats graphs=%d shards=%d, want 40/3", st.Graphs, st.Shards)
+	}
+	if st.Requests["search"].Count != 2 {
+		t.Errorf("search request count %d, want 2", st.Requests["search"].Count)
+	}
+	if st.Requests["search"].TotalMS <= 0 {
+		t.Error("search timing should be recorded")
+	}
+}
+
+// shuffledCopy rebuilds g with its vertices in a different order — an
+// isomorphic graph that is not byte-identical on the wire.
+func shuffledCopy(g *pis.Graph, seed int64) *pis.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.N()) // perm[old] = new
+	b := pis.NewGraphBuilder(g.N(), g.M())
+	inv := make([]int, g.N())
+	for old, nw := range perm {
+		inv[nw] = old
+	}
+	for nw := 0; nw < g.N(); nw++ {
+		b.AddWeightedVertex(g.VLabelAt(inv[nw]), g.VWeightAt(inv[nw]))
+	}
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeAt(e)
+		b.AddWeightedEdge(int32(perm[ed.U]), int32(perm[ed.V]), ed.Label, ed.Weight)
+	}
+	return b.MustBuild()
+}
+
+// TestCanonicalCacheKey: an isomorphic but differently-ordered query hits
+// the same cache entry via the canonical key.
+func TestCanonicalCacheKey(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 11)
+	iso := shuffledCopy(q, 99)
+
+	var first, second SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 2}, &first)
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(iso), Sigma: 2}, &second)
+	if !second.Cached {
+		t.Fatal("isomorphic reordered query should hit the same cache entry")
+	}
+	if !reflect.DeepEqual(first.Answers, second.Answers) {
+		t.Error("cached answers differ for isomorphic queries")
+	}
+
+	var st ServerStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Cache.Entries != 1 {
+		t.Errorf("cache entries %d, want 1 (canonical key collision expected)", st.Cache.Entries)
+	}
+
+	// Different sigma must not collide.
+	var third SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 3}, &third)
+	if third.Cached {
+		t.Error("different sigma must be a distinct cache entry")
+	}
+}
+
+// TestSingleVertexQueriesDistinct: the DFS code of an edge-free graph is
+// empty, so the canonical key must still separate queries by vertex label
+// — a collision would serve one label's cached answers for another.
+func TestSingleVertexQueriesDistinct(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	one := func(label uint16) GraphJSON {
+		return GraphJSON{Vertices: []VertexJSON{{Label: label}}}
+	}
+	var a, b SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: one(0), Sigma: 0}, &a)
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: one(999), Sigma: 0}, &b)
+	if b.Cached {
+		t.Fatal("distinct single-vertex queries must not share a cache entry")
+	}
+	if len(a.Answers) == 0 {
+		t.Error("single-vertex query should match graphs")
+	}
+	// Both queries miss and occupy their own entry. (Under the default
+	// vertex-blind EdgeMutation metric their answers coincide; the keys
+	// still must not, or a vertex-aware metric would serve wrong results.)
+	var st ServerStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Cache.Entries != 2 {
+		t.Errorf("cache entries %d, want 2 distinct", st.Cache.Entries)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := EncodeGraph(sampleQuery(t, 13))
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"negative sigma", "/search", SearchRequest{Query: q, Sigma: -1}},
+		{"empty graph", "/search", SearchRequest{Query: GraphJSON{}, Sigma: 1}},
+		{"disconnected graph", "/search", SearchRequest{Query: GraphJSON{
+			Vertices: []VertexJSON{{Label: 1}, {Label: 1}, {Label: 1}, {Label: 1}},
+			Edges:    []EdgeJSON{{U: 0, V: 1, Label: 1}, {U: 2, V: 3, Label: 1}},
+		}, Sigma: 1}},
+		{"edge out of range", "/search", SearchRequest{Query: GraphJSON{
+			Vertices: []VertexJSON{{Label: 1}},
+			Edges:    []EdgeJSON{{U: 0, V: 7, Label: 1}},
+		}, Sigma: 1}},
+		{"zero k", "/knn", KNNRequest{Query: q, K: 0, MaxSigma: 4}},
+		{"zero max_sigma", "/knn", KNNRequest{Query: q, K: 2}},
+		{"empty batch", "/batch", BatchRequest{Sigma: 1}},
+	}
+	for _, c := range cases {
+		code := postJSON(t, ts.URL+c.url, c.body, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+	}
+
+	// Malformed JSON body.
+	r, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", r.StatusCode)
+	}
+
+	// Errors are counted in /stats.
+	var st ServerStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Requests["search"].Errors == 0 {
+		t.Error("search errors should be counted")
+	}
+}
+
+func TestInFlightLimit(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 2})
+	q := sampleQuery(t, 17)
+	// Hammer the endpoint concurrently; with the semaphore in place every
+	// request still completes (waiting, not rejected).
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(SearchRequest{Query: EncodeGraph(q), Sigma: float64(i % 3)})
+			r, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", r.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: -1}) // negative → disabled
+	q := sampleQuery(t, 19)
+	req := SearchRequest{Query: EncodeGraph(q), Sigma: 1}
+	var a, b SearchResponse
+	postJSON(t, ts.URL+"/search", req, &a)
+	postJSON(t, ts.URL+"/search", req, &b)
+	if a.Cached || b.Cached {
+		t.Error("disabled cache must never report hits")
+	}
+	if !reflect.DeepEqual(a.Answers, b.Answers) {
+		t.Error("answers must still be deterministic")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", 3) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	entries, hits, misses := c.Counters()
+	if entries != 2 {
+		t.Errorf("entries %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
