@@ -1,0 +1,123 @@
+// Canonical-code memoization. Fragment enumeration presents the same few
+// dozen skeleton shapes millions of times — every path of length 3 in
+// every graph extracts to the same renumbered structure — yet index
+// construction and query fragment extraction used to recanonicalize each
+// occurrence from scratch. A Memo caches MinCodeUnlabeled results keyed by
+// the exact structural encoding of the (renumbered) fragment, so a
+// steady-state lookup is one hash, one map probe, and zero allocations.
+//
+// Safety: the cache key is the full vertex count + edge list encoding,
+// not a lossy hash. Two graphs share a key iff they have identical vertex
+// numbering and edge lists, which makes the cached Code and Embedding
+// values (both expressed in input vertex/edge indices) interchangeable
+// between them. A fast FNV-1a hash of the key only picks the lock shard;
+// equality is always decided by the exact key.
+
+package canon
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pis/internal/graph"
+)
+
+const memoShardCount = 16
+
+// Memo is a concurrency-safe cache of MinCodeUnlabeled results. The zero
+// value is not usable; call NewMemo. Callers must treat the returned Code
+// and Embedding slices as immutable — they are shared between all lookups
+// of the same structure.
+type Memo struct {
+	shards [memoShardCount]memoShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]*memoEntry
+}
+
+type memoEntry struct {
+	code Code
+	embs []Embedding
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	mm := &Memo{}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[string]*memoEntry)
+	}
+	return mm
+}
+
+// Hits returns the number of cache hits served.
+func (mm *Memo) Hits() int64 { return mm.hits.Load() }
+
+// Misses returns the number of lookups that computed a fresh code.
+func (mm *Memo) Misses() int64 { return mm.misses.Load() }
+
+// Len returns the number of distinct structures cached.
+func (mm *Memo) Len() int {
+	n := 0
+	for i := range mm.shards {
+		s := &mm.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// MinCodeUnlabeled returns the minimum DFS code and canonical embeddings
+// of g's skeleton, computing them at most once per distinct structure.
+// Labels and weights of g are ignored (the skeleton is taken internally on
+// a miss), so callers can pass the labeled fragment directly and skip the
+// Skeleton copy on the hit path. The returned slices are shared; callers
+// must not modify them.
+func (mm *Memo) MinCodeUnlabeled(g *graph.Graph) (Code, []Embedding) {
+	n, m := g.N(), g.M()
+	if n >= 1<<16 || m >= 1<<15 {
+		// Far beyond fragment sizes; don't let the fixed-width key overflow.
+		return MinCodeUnlabeled(g.Skeleton())
+	}
+	var arr [128]byte
+	key := arr[:0]
+	if need := 2 + 4*m; need > len(arr) {
+		key = make([]byte, 0, need)
+	}
+	key = append(key, byte(n), byte(n>>8))
+	for _, e := range g.Edges() {
+		key = append(key, byte(e.U), byte(e.U>>8), byte(e.V), byte(e.V>>8))
+	}
+
+	// FNV-1a over the key picks the lock shard.
+	h := uint32(2166136261)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	s := &mm.shards[h%memoShardCount]
+
+	s.mu.RLock()
+	e := s.m[string(key)]
+	s.mu.RUnlock()
+	if e != nil {
+		mm.hits.Add(1)
+		return e.code, e.embs
+	}
+
+	code, embs := MinCodeUnlabeled(g.Skeleton())
+	mm.misses.Add(1)
+	s.mu.Lock()
+	if prev := s.m[string(key)]; prev != nil {
+		// Another goroutine computed it concurrently; keep one entry so
+		// every caller shares the same backing slices.
+		s.mu.Unlock()
+		return prev.code, prev.embs
+	}
+	s.m[string(key)] = &memoEntry{code: code, embs: embs}
+	s.mu.Unlock()
+	return code, embs
+}

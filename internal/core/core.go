@@ -14,10 +14,23 @@
 // All three return identical answer sets; they differ only in how many
 // candidates reach the expensive verification stage, which is exactly
 // what the paper's experiments measure.
+//
+// The pipeline works on flat sorted data throughout: range queries return
+// sorted posting lists with aligned distances, candidate sets are
+// intersected by merge/galloping joins (smallest list first, early exit on
+// empty), and all intermediate storage comes from a per-searcher scratch
+// pool, so a steady-state query allocates almost nothing beyond its
+// Result. Verification runs best-first (ascending partition lower bound)
+// across a worker pool; answers are deterministic for any worker count.
 package core
 
 import (
+	"math"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pis/internal/distance"
@@ -43,6 +56,10 @@ type Options struct {
 	// MaxFragmentsPerQuery caps the indexed fragments used per query,
 	// keeping the largest structures (0 = unlimited).
 	MaxFragmentsPerQuery int
+	// VerifyWorkers parallelizes candidate verification across goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Answers and distances are identical
+	// for any setting.
+	VerifyWorkers int
 	// SkipVerification stops after filtering; Result.Answers stays nil.
 	// The candidate-counting experiments (Figures 8-12) use this.
 	SkipVerification bool
@@ -83,12 +100,15 @@ type Result struct {
 	Stats      Stats
 }
 
-// Searcher runs SSSD queries against one database + index pair.
+// Searcher runs SSSD queries against one database + index pair. It is
+// safe for concurrent use; per-query working memory comes from an
+// internal scratch pool.
 type Searcher struct {
 	db     []*graph.Graph
 	idx    *index.Index
 	metric distance.Metric
 	opts   Options
+	pool   sync.Pool // *scratch
 }
 
 // NewSearcher builds a Searcher. The metric must be the one the index was
@@ -103,16 +123,74 @@ func (s *Searcher) DB() []*graph.Graph { return s.db }
 // Index returns the underlying fragment index.
 func (s *Searcher) Index() *index.Index { return s.idx }
 
+// fragInfo is one usable query fragment with its range-query result and
+// dynamic selectivity (Algorithm 2 lines 6-18).
+type fragInfo struct {
+	qf   index.QueryFragment
+	list *index.PostingList // in-range ids ascending, distances aligned
+	w    float64            // dynamic selectivity
+}
+
+// scratch is the reusable per-query working memory. Everything in it is
+// sized by previous queries and reused, so a steady-state search touches
+// the allocator only for its Result.
+type scratch struct {
+	lists      []index.PostingList // per-fragment range results
+	rbuf       index.RangeBuffer   // shared dedup/probe scratch for all range queries
+	infos      []fragInfo
+	bufA, bufB []int32 // candidate set double buffer
+	lbs        []float64
+	cursors    []int
+	sizeOrder  []int32
+	vertexSets [][]int32
+	weights    []float64
+	part       []int
+	vorder     []int32 // verification order (indices into candidates)
+	vdists     []float64
+	sorter     lbSorter
+}
+
+func (s *Searcher) getScratch() *scratch {
+	if v := s.pool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{}
+}
+
+func (s *Searcher) putScratch(sc *scratch) {
+	// Zero the element storage (not just the length) so pooled scratches
+	// do not pin the last query's fragment slices; the backing arrays
+	// themselves stay for reuse.
+	clear(sc.infos[:cap(sc.infos)])
+	sc.infos = sc.infos[:0]
+	clear(sc.vertexSets[:cap(sc.vertexSets)])
+	sc.vertexSets = sc.vertexSets[:0]
+	s.pool.Put(sc)
+}
+
+// postingLists returns at least k reusable posting-list buffers,
+// preserving the grown backing slices of previous queries.
+func (sc *scratch) postingLists(k int) []index.PostingList {
+	if len(sc.lists) < k {
+		lists := make([]index.PostingList, k)
+		copy(lists, sc.lists)
+		sc.lists = lists
+	}
+	return sc.lists
+}
+
 // SearchNaive verifies every graph in the database.
 func (s *Searcher) SearchNaive(q *graph.Graph, sigma float64) Result {
 	var r Result
 	r.Candidates = make([]int32, len(s.db))
-	for i := range s.db {
+	for i := range r.Candidates {
 		r.Candidates[i] = int32(i)
 	}
 	r.Stats.StructCandidates = len(s.db)
 	r.Stats.DistCandidates = len(s.db)
-	s.verify(q, sigma, &r)
+	sc := s.getScratch()
+	s.verify(q, sigma, &r, nil, sc)
+	s.putScratch(sc)
 	return r
 }
 
@@ -122,13 +200,15 @@ func (s *Searcher) SearchNaive(q *graph.Graph, sigma float64) Result {
 func (s *Searcher) SearchTopoPrune(q *graph.Graph, sigma float64) Result {
 	var r Result
 	start := time.Now()
+	sc := s.getScratch()
 	frags := s.usableFragments(q, sigma, &r.Stats)
-	cands := s.structuralCandidates(frags)
+	cands := s.structuralCandidates(frags, sc)
 	r.Stats.StructCandidates = len(cands)
 	r.Stats.DistCandidates = len(cands) // no distance pruning in this method
-	r.Candidates = cands
+	r.Candidates = append(make([]int32, 0, len(cands)), cands...)
 	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r)
+	s.verify(q, sigma, &r, nil, sc)
+	s.putScratch(sc)
 	return r
 }
 
@@ -136,61 +216,71 @@ func (s *Searcher) SearchTopoPrune(q *graph.Graph, sigma float64) Result {
 func (s *Searcher) Search(q *graph.Graph, sigma float64) Result {
 	var r Result
 	start := time.Now()
+	sc := s.getScratch()
+	cands, lbs := s.filter(q, sigma, &r.Stats, sc)
+	r.Candidates = append(make([]int32, 0, len(cands)), cands...)
+	r.Stats.DistCandidates = len(r.Candidates)
+	r.Stats.FilterTime = time.Since(start)
+	s.verify(q, sigma, &r, lbs, sc)
+	s.putScratch(sc)
+	return r
+}
+
+// filter runs the PIS filtering stage (Algorithm 2 lines 3-23) and
+// returns the surviving candidate ids ascending plus, when a partition
+// was applied, the Eq. 2 lower bound aligned per candidate. Both slices
+// are scratch-backed: valid only until the scratch is reused.
+func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch) (cands []int32, lbs []float64) {
 	n := len(s.db)
-	frags := s.usableFragments(q, sigma, &r.Stats)
+	frags := s.usableFragments(q, sigma, st)
 
 	// Structure-only candidate count, for reporting Yt without a second
 	// pass (the postings are already in memory).
-	r.Stats.StructCandidates = len(s.structuralCandidates(frags))
+	st.StructCandidates = len(s.structuralCandidates(frags, sc))
 
 	if len(frags) == 0 {
 		// No indexed fragment: every graph stays a candidate.
-		r.Candidates = allIDs(n)
-		r.Stats.DistCandidates = n
-		r.Stats.FilterTime = time.Since(start)
-		s.verify(q, sigma, &r)
-		return r
+		sc.bufA = appendAllIDs(sc.bufA[:0], n)
+		return sc.bufA, nil
 	}
 
 	// Lines 6-18: one σ range query per fragment; intersect the in-range
-	// graph sets; compute dynamic selectivities.
-	type fragInfo struct {
-		qf index.QueryFragment
-		T  map[int32]float64 // d(g,G) per in-range graph
-		w  float64           // dynamic selectivity
-	}
-	infos := make([]fragInfo, 0, len(frags))
-	var cq map[int32]bool // nil means "all graphs"
-	for _, qf := range frags {
-		T := s.idx.RangeQuery(qf, sigma)
+	// id lists by sorted merge/gallop join, stopping early once empty;
+	// compute dynamic selectivities.
+	lists := sc.postingLists(len(frags))
+	infos := sc.infos[:0]
+	cur := sc.bufA[:0]
+	nxt := sc.bufB[:0]
+	for fi, qf := range frags {
+		pl := &lists[fi]
+		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf)
 		sum := 0.0
-		for _, d := range T {
+		for _, d := range pl.Dists {
 			sum += d
 		}
-		w := sum/float64(n) + float64(n-len(T))/float64(n)*s.opts.Lambda*sigma
-		infos = append(infos, fragInfo{qf: qf, T: T, w: w})
-		cq = intersect(cq, T)
-		if cq != nil && len(cq) == 0 {
+		w := sum/float64(n) + float64(n-pl.Len())/float64(n)*s.opts.Lambda*sigma
+		infos = append(infos, fragInfo{qf: qf, list: pl, w: w})
+		if fi == 0 {
+			cur = append(cur, pl.IDs...)
+		} else {
+			nxt = intersectSorted(nxt[:0], cur, pl.IDs)
+			cur, nxt = nxt, cur
+		}
+		if len(cur) == 0 {
 			break
 		}
 	}
-
-	if cq == nil {
-		cq = make(map[int32]bool, n)
-		for i := 0; i < n; i++ {
-			cq[int32(i)] = true
-		}
-	}
+	sc.infos = infos
 
 	// Lines 19-20: overlapping-relation graph + MWIS partition.
-	var part []int
-	if len(cq) > 0 {
-		vertexSets := make([][]int32, len(infos))
-		weights := make([]float64, len(infos))
-		for i, fi := range infos {
-			vertexSets[i] = fi.qf.Vertices
-			weights[i] = fi.w
+	if len(cur) > 0 {
+		vertexSets := sc.vertexSets[:0]
+		weights := sc.weights[:0]
+		for _, fi := range infos {
+			vertexSets = append(vertexSets, fi.qf.Vertices)
+			weights = append(weights, fi.w)
 		}
+		sc.vertexSets, sc.weights = vertexSets, weights
 		og := partition.NewOverlapGraph(vertexSets, weights)
 		var chosen []int32
 		switch {
@@ -201,35 +291,47 @@ func (s *Searcher) Search(q *graph.Graph, sigma float64) Result {
 		default:
 			chosen = partition.EnhancedGreedy(og, s.opts.PartitionK)
 		}
+		part := sc.part[:0]
 		for _, c := range chosen {
 			part = append(part, int(c))
 		}
-		r.Stats.PartitionSize = len(part)
+		sc.part = part
+		st.PartitionSize = len(part)
 
-		// Lines 21-23: prune by the partition lower bound.
-		for id := range cq {
+		// Lines 21-23: prune by the partition lower bound. Candidates and
+		// every fragment list are ascending, so one galloping cursor per
+		// partition fragment retrieves d(g, G) without hashing; a missing
+		// id means the fragment distance exceeds σ, so the bound does too.
+		cursors := sc.cursors[:0]
+		for range part {
+			cursors = append(cursors, 0)
+		}
+		sc.cursors = cursors
+		lbs = sc.lbs[:0]
+		out := cur[:0]
+		for _, id := range cur {
 			sum := 0.0
-			for _, fi := range part {
-				d, ok := infos[fi].T[id]
-				if !ok {
-					// Not in range for a partition fragment: the fragment
-					// distance exceeds σ, so the lower bound does too.
-					sum = sigma + 1
+			ok := true
+			for pi, f := range part {
+				ids := infos[f].list.IDs
+				c := gallopTo(ids, cursors[pi], id)
+				cursors[pi] = c
+				if c == len(ids) || ids[c] != id {
+					ok = false
 					break
 				}
-				sum += d
+				sum += infos[f].list.Dists[c]
 			}
-			if sum > sigma {
-				delete(cq, id)
+			if ok && sum <= sigma {
+				out = append(out, id)
+				lbs = append(lbs, sum)
 			}
 		}
+		cur = out
+		sc.lbs = lbs
 	}
-
-	r.Candidates = sortedIDs(cq)
-	r.Stats.DistCandidates = len(r.Candidates)
-	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r)
-	return r
+	sc.bufA, sc.bufB = cur, nxt
+	return cur, lbs
 }
 
 // usableFragments enumerates the query's indexed fragments and applies the
@@ -268,91 +370,272 @@ func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats) []i
 }
 
 // structuralCandidates intersects the structural postings of the fragments
-// (topoPrune's filter). No fragments means no structural information: all.
-func (s *Searcher) structuralCandidates(frags []index.QueryFragment) []int32 {
+// (topoPrune's filter), smallest list first with early exit. The result is
+// scratch-backed. No fragments means no structural information: all ids.
+func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch) []int32 {
 	if len(frags) == 0 {
-		return allIDs(len(s.db))
+		sc.bufA = appendAllIDs(sc.bufA[:0], len(s.db))
+		return sc.bufA
 	}
 	// Intersect smallest postings first.
-	order := make([]int, len(frags))
-	for i := range order {
-		order[i] = i
+	order := sc.sizeOrder[:0]
+	for i := range frags {
+		order = append(order, int32(i))
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return len(frags[order[a]].Class.Postings()) < len(frags[order[b]].Class.Postings())
+	sc.sizeOrder = order
+	slices.SortFunc(order, func(a, b int32) int {
+		return len(frags[a].Class.Postings()) - len(frags[b].Class.Postings())
 	})
-	var cur map[int32]bool
-	for _, i := range order {
-		post := frags[i].Class.Postings()
-		if cur == nil {
-			cur = make(map[int32]bool, len(post))
-			for _, id := range post {
-				cur[id] = true
-			}
-			continue
-		}
-		next := make(map[int32]bool, len(cur))
-		for _, id := range post {
-			if cur[id] {
-				next[id] = true
-			}
-		}
-		cur = next
+	cur := append(sc.bufA[:0], frags[order[0]].Class.Postings()...)
+	nxt := sc.bufB[:0]
+	for _, i := range order[1:] {
 		if len(cur) == 0 {
 			break
 		}
+		nxt = intersectSorted(nxt[:0], cur, frags[i].Class.Postings())
+		cur, nxt = nxt, cur
 	}
-	return sortedIDs(cur)
+	sc.bufA, sc.bufB = cur, nxt
+	return cur
 }
 
-// verify computes the true superimposed distance of every candidate.
-func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result) {
+// minParallelVerify is the candidate count below which goroutine fan-out
+// costs more than it saves.
+const minParallelVerify = 8
+
+func (s *Searcher) verifyWorkers(n int) int {
+	w := s.opts.VerifyWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if n < minParallelVerify || w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// verifyOrder returns candidate indices sorted ascending by partition
+// lower bound (nil lbs: ascending id), so the likeliest answers are
+// verified first. Scratch-backed.
+func (s *Searcher) verifyOrder(n int, lbs []float64, sc *scratch) []int32 {
+	order := sc.vorder[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, int32(i))
+	}
+	sc.vorder = order
+	if lbs != nil {
+		sc.sorter = lbSorter{order: order, lbs: lbs}
+		sort.Stable(&sc.sorter)
+	}
+	return order
+}
+
+// lbSorter sorts candidate indices by lower bound; stability keeps
+// ascending-id order within ties.
+type lbSorter struct {
+	order []int32
+	lbs   []float64
+}
+
+func (t *lbSorter) Len() int           { return len(t.order) }
+func (t *lbSorter) Less(i, j int) bool { return t.lbs[t.order[i]] < t.lbs[t.order[j]] }
+func (t *lbSorter) Swap(i, j int)      { t.order[i], t.order[j] = t.order[j], t.order[i] }
+
+// verify computes the true superimposed distance of every candidate,
+// best-first (ascending partition lower bound) across a worker pool. The
+// answer set is deterministic for any worker count: every candidate is
+// verified against the same fixed budget σ and answers are assembled in
+// ascending id order afterwards.
+func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch) {
 	if s.opts.SkipVerification {
 		return
 	}
 	start := time.Now()
 	r.Answers = []int32{}
-	for _, id := range r.Candidates {
-		d := iso.MinSuperimposedDistance(q, s.db[id], s.metric, sigma)
-		if !distance.IsInfinite(d) && d <= sigma {
+	cands := r.Candidates
+	nc := len(cands)
+	r.Stats.Verified = nc
+	if nc == 0 {
+		r.Stats.VerifyTime = time.Since(start)
+		return
+	}
+	dists := sc.vdists[:0]
+	for i := 0; i < nc; i++ {
+		dists = append(dists, 0)
+	}
+	sc.vdists = dists
+
+	order := s.verifyOrder(nc, lbs, sc)
+	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
+		j := order[i]
+		dists[j] = v.Distance(s.db[cands[j]], sigma)
+	})
+	for i, id := range cands {
+		if d := dists[i]; !distance.IsInfinite(d) && d <= sigma {
 			r.Answers = append(r.Answers, id)
 			r.Distances = append(r.Distances, d)
 		}
 	}
-	r.Stats.Verified = len(r.Candidates)
 	r.Stats.VerifyTime = time.Since(start)
 }
 
-func intersect(cur map[int32]bool, T map[int32]float64) map[int32]bool {
-	if cur == nil {
-		out := make(map[int32]bool, len(T))
-		for id := range T {
-			out[id] = true
-		}
-		return out
+// searchKNNOnce runs the PIS filter at radius sigma, then verifies
+// candidates best-first across a worker pool sharing a monotonically
+// shrinking radius: once k neighbors are known, the k-th best distance
+// becomes every later verification's branch-and-bound budget, so workers
+// cut each other's search effort. Returns up to k neighbors within sigma,
+// closest first (ties by ascending id). The result is deterministic for
+// any worker count: a candidate skipped by the shared bound is strictly
+// farther than the final k-th neighbor, so it can never displace one.
+func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64) []Neighbor {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	var st Stats
+	cands, lbs := s.filter(q, sigma, &st, sc)
+	nc := len(cands)
+	best := make([]Neighbor, 0, k)
+	if nc == 0 {
+		return best
 	}
-	out := make(map[int32]bool, len(cur))
-	for id := range T {
-		if cur[id] {
-			out[id] = true
+
+	var boundBits atomic.Uint64
+	boundBits.Store(math.Float64bits(sigma))
+	var mu sync.Mutex
+	record := func(id int32, d float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		i := sort.Search(len(best), func(i int) bool {
+			if best[i].Distance != d {
+				return best[i].Distance > d
+			}
+			return best[i].ID > id
+		})
+		switch {
+		case i == len(best):
+			if len(best) == k {
+				return
+			}
+			best = append(best, Neighbor{ID: id, Distance: d})
+		default:
+			if len(best) < k {
+				best = append(best, Neighbor{})
+			}
+			copy(best[i+1:], best[i:])
+			best[i] = Neighbor{ID: id, Distance: d}
+		}
+		if len(best) == k {
+			// Shrink the shared radius to the current k-th best distance;
+			// only ever downwards.
+			kd := best[k-1].Distance
+			for {
+				old := boundBits.Load()
+				if math.Float64frombits(old) <= kd {
+					return
+				}
+				if boundBits.CompareAndSwap(old, math.Float64bits(kd)) {
+					return
+				}
+			}
 		}
 	}
-	return out
+
+	order := s.verifyOrder(nc, lbs, sc)
+	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
+		j := order[i]
+		budget := math.Float64frombits(boundBits.Load())
+		if d := v.Distance(s.db[cands[j]], budget); !distance.IsInfinite(d) {
+			record(cands[j], d)
+		}
+	})
+	return best
 }
 
-func allIDs(n int) []int32 {
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(i)
+// forEachCandidate claims indices 0..nc-1 across a worker pool, each
+// worker holding one reusable Verifier for q; workers == 1 runs inline
+// with no goroutines.
+func (s *Searcher) forEachCandidate(q *graph.Graph, workers, nc int, fn func(v *iso.Verifier, i int)) {
+	if workers == 1 {
+		v := iso.NewVerifier(q, s.metric)
+		for i := 0; i < nc; i++ {
+			fn(v, i)
+		}
+		return
 	}
-	return out
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := iso.NewVerifier(q, s.metric)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nc {
+					return
+				}
+				fn(v, i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
-func sortedIDs(set map[int32]bool) []int32 {
-	out := make([]int32, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+// intersectSorted appends the intersection of two ascending id lists to
+// dst and returns it. The shorter list drives; the longer one is advanced
+// by galloping, so a tiny list against a huge one costs O(small·log big).
+func intersectSorted(dst, a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	j := 0
+	for _, x := range a {
+		j = gallopTo(b, j, x)
+		if j == len(b) {
+			break
+		}
+		if b[j] == x {
+			dst = append(dst, x)
+			j++
+		}
+	}
+	return dst
+}
+
+// gallopTo returns the smallest index >= j with b[index] >= x, by
+// exponential probing followed by binary search.
+func gallopTo(b []int32, j int, x int32) int {
+	if j >= len(b) || b[j] >= x {
+		return j
+	}
+	// Invariant below: b[lo] < x and (hi == len(b) or b[hi] >= x).
+	step := 1
+	lo := j
+	hi := j + step
+	for hi < len(b) && b[hi] < x {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if b[mid] < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+func appendAllIDs(dst []int32, n int) []int32 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, int32(i))
+	}
+	return dst
 }

@@ -40,7 +40,7 @@ type fixture struct {
 	idx *index.Index
 }
 
-func newFixture(t *testing.T, seed int64, n int) fixture {
+func newFixture(t testing.TB, seed int64, n int) fixture {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	db := make([]*graph.Graph, n)

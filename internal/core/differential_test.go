@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/mining"
+)
+
+// Differential property tests: the three search methods must return
+// byte-identical Answers and Distances on every input — Naive is the
+// oracle, topoPrune and PIS merely prune candidates that cannot be
+// answers. This is the safety net under the flat candidate pipeline: any
+// intersection, range-query, partition-pruning, or parallel-verification
+// bug that changes an answer set fails here.
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildFixture(t *testing.T, rng *rand.Rand, n int, kind index.Kind, metric distance.Metric) fixture {
+	t.Helper()
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		db[i] = randomMolecule(rng, 6+rng.Intn(7))
+	}
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 4, MinSupportFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(db, feats, index.Options{Kind: kind, Metric: metric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{db: db, idx: idx}
+}
+
+// TestDifferentialSearchMethods sweeps random databases, metrics, index
+// kinds and σ values, asserting Search, SearchTopoPrune and SearchNaive
+// agree exactly on Answers and Distances.
+func TestDifferentialSearchMethods(t *testing.T) {
+	cases := []struct {
+		name   string
+		kind   index.Kind
+		metric distance.Metric
+	}{
+		{"trie/edge", index.TrieIndex, distance.EdgeMutation{}},
+		{"trie/full", index.TrieIndex, distance.FullMutation{}},
+		{"vptree/edge", index.VPTreeIndex, distance.EdgeMutation{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(100 + seed))
+				fx := buildFixture(t, rng, 25+int(seed)*10, tc.kind, tc.metric)
+				s := NewSearcher(fx.db, fx.idx, Options{})
+				for trial := 0; trial < 8; trial++ {
+					q := sampleQuery(rng, fx.db, 3+rng.Intn(5))
+					sigma := float64(rng.Intn(4))
+					naive := s.SearchNaive(q, sigma)
+					topo := s.SearchTopoPrune(q, sigma)
+					pis := s.Search(q, sigma)
+					for _, m := range []struct {
+						name string
+						r    Result
+					}{{"topoPrune", topo}, {"PIS", pis}} {
+						if !equalIDs(naive.Answers, m.r.Answers) {
+							t.Fatalf("seed %d trial %d σ=%v: %s answers %v != naive %v",
+								seed, trial, sigma, m.name, m.r.Answers, naive.Answers)
+						}
+						if !equalF64(naive.Distances, m.r.Distances) {
+							t.Fatalf("seed %d trial %d σ=%v: %s distances %v != naive %v",
+								seed, trial, sigma, m.name, m.r.Distances, naive.Distances)
+						}
+					}
+					// The pipeline may only ever shrink candidate sets.
+					if !subset(pis.Candidates, topo.Candidates) {
+						t.Fatalf("seed %d trial %d: PIS candidates escaped topoPrune's", seed, trial)
+					}
+					if !subset(pis.Answers, pis.Candidates) {
+						t.Fatalf("seed %d trial %d: answers escaped the candidate set", seed, trial)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAcrossOptions replays one workload under every
+// partition solver and fragment cap, which all must leave answers
+// untouched.
+func TestDifferentialAcrossOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	fx := buildFixture(t, rng, 40, index.TrieIndex, distance.EdgeMutation{})
+	oracle := NewSearcher(fx.db, fx.idx, Options{})
+	var queries []*graph.Graph
+	for i := 0; i < 6; i++ {
+		queries = append(queries, sampleQuery(rng, fx.db, 4+rng.Intn(4)))
+	}
+	for _, opts := range []Options{
+		{PartitionK: 2},
+		{PartitionK: -1},
+		{MaxFragmentsPerQuery: 2},
+		{Epsilon: 0.1},
+		{Lambda: 2},
+	} {
+		s := NewSearcher(fx.db, fx.idx, opts)
+		for qi, q := range queries {
+			for _, sigma := range []float64{0, 1, 2.5} {
+				want := oracle.SearchNaive(q, sigma)
+				got := s.Search(q, sigma)
+				if !equalIDs(want.Answers, got.Answers) || !equalF64(want.Distances, got.Distances) {
+					t.Fatalf("opts %+v query %d σ=%v: answers diverged", opts, qi, sigma)
+				}
+			}
+		}
+	}
+}

@@ -2,17 +2,14 @@
 // beyond the paper's threshold queries: instead of "all graphs within σ",
 // return "the k closest graphs". Implemented by progressive threshold
 // expansion — run the PIS filter at a growing σ until at least k answers
-// are inside, then cut to the k smallest distances. Every intermediate
-// pass reuses the same index, so the cost stays close to a single search
-// at the final radius.
+// are inside, then return the k smallest distances. Every pass reuses the
+// same index, and within a pass verification runs best-first across a
+// worker pool with a shared shrinking radius (see searchKNNOnce), so the
+// cost stays close to a single search at the final radius.
 
 package core
 
-import (
-	"sort"
-
-	"pis/internal/graph"
-)
+import "pis/internal/graph"
 
 // Neighbor is one kNN result.
 type Neighbor struct {
@@ -34,7 +31,7 @@ func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64
 		// kNN needs exact distances; run with verification regardless.
 		opts := s.opts
 		opts.SkipVerification = false
-		s = &Searcher{db: s.db, idx: s.idx, metric: s.metric, opts: opts}
+		s = NewSearcher(s.db, s.idx, opts)
 	}
 	sigma := startSigma
 	if sigma <= 0 {
@@ -44,21 +41,8 @@ func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64
 		sigma = maxSigma
 	}
 	for {
-		r := s.Search(q, sigma)
-		if len(r.Answers) >= k || sigma >= maxSigma {
-			ns := make([]Neighbor, len(r.Answers))
-			for i, id := range r.Answers {
-				ns[i] = Neighbor{ID: id, Distance: r.Distances[i]}
-			}
-			sort.SliceStable(ns, func(i, j int) bool {
-				if ns[i].Distance != ns[j].Distance {
-					return ns[i].Distance < ns[j].Distance
-				}
-				return ns[i].ID < ns[j].ID
-			})
-			if len(ns) > k {
-				ns = ns[:k]
-			}
+		ns := s.searchKNNOnce(q, k, sigma)
+		if len(ns) >= k || sigma >= maxSigma {
 			return ns
 		}
 		sigma *= 2

@@ -1,9 +1,8 @@
 // Result and Stats merging for sharded search. A sharded database splits
 // the graph list into contiguous slices, runs the PIS pipeline per shard
 // with shard-local graph ids, and stitches the per-shard outcomes back
-// into one Result whose ids are global. The helpers here keep that
-// stitching in one place so every fan-out caller (threshold search, batch,
-// kNN) aggregates the same way.
+// into one Result whose ids are global, in a single pass over the
+// shard-local sorted lists.
 
 package core
 
@@ -21,47 +20,40 @@ func (s *Stats) Add(o Stats) {
 	s.VerifyTime += o.VerifyTime
 }
 
-// Shifted returns a copy of r with every graph id offset by delta,
-// translating shard-local ids to global ids. The slices are copied; r is
-// not mutated.
-func (r Result) Shifted(delta int32) Result {
-	out := r
-	if r.Answers != nil {
-		out.Answers = make([]int32, len(r.Answers))
-		for i, id := range r.Answers {
-			out.Answers[i] = id + delta
-		}
-	}
-	out.Distances = append([]float64(nil), r.Distances...)
-	out.Candidates = make([]int32, len(r.Candidates))
-	for i, id := range r.Candidates {
-		out.Candidates[i] = id + delta
-	}
-	return out
-}
-
-// MergeResults concatenates per-shard results whose ids are already
-// global and ascending within each part, with parts ordered by shard
-// (so the concatenation stays ascending). Stats are summed. Answers is
-// non-nil in the merge iff it is non-nil in every part (verification ran
-// everywhere).
-func MergeResults(parts []Result) Result {
+// MergeShifted stitches per-shard results carrying shard-local ids into
+// one global Result in a single pass: part i's ids are offset by
+// offsets[i] as they are copied into exactly-sized output slices, so no
+// intermediate per-shard copy (Shifted) is needed. Parts must be ordered
+// by shard and ascending within each part, which keeps the concatenation
+// ascending. Stats are summed. Answers is non-nil in the merge iff it is
+// non-nil in every part (verification ran everywhere).
+func MergeShifted(parts []Result, offsets []int32) Result {
 	var out Result
 	answered := true
+	nAns, nCand := 0, 0
 	for _, p := range parts {
 		if p.Answers == nil {
 			answered = false
 		}
+		nAns += len(p.Answers)
+		nCand += len(p.Candidates)
 	}
 	if answered {
-		out.Answers = []int32{}
+		out.Answers = make([]int32, 0, nAns)
+		out.Distances = make([]float64, 0, nAns)
 	}
-	for _, p := range parts {
+	out.Candidates = make([]int32, 0, nCand)
+	for i, p := range parts {
+		delta := offsets[i]
 		if answered {
-			out.Answers = append(out.Answers, p.Answers...)
+			for _, id := range p.Answers {
+				out.Answers = append(out.Answers, id+delta)
+			}
 			out.Distances = append(out.Distances, p.Distances...)
 		}
-		out.Candidates = append(out.Candidates, p.Candidates...)
+		for _, id := range p.Candidates {
+			out.Candidates = append(out.Candidates, id+delta)
+		}
 		out.Stats.Add(p.Stats)
 	}
 	return out

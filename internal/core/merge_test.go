@@ -22,43 +22,14 @@ func TestStatsAdd(t *testing.T) {
 	}
 }
 
-func TestResultShifted(t *testing.T) {
-	r := Result{
-		Answers:    []int32{0, 2},
-		Distances:  []float64{0, 1.5},
-		Candidates: []int32{0, 1, 2},
-	}
-	s := r.Shifted(10)
-	if got, want := s.Answers, []int32{10, 12}; !reflect.DeepEqual(got, want) {
-		t.Errorf("Answers: got %v, want %v", got, want)
-	}
-	if got, want := s.Candidates, []int32{10, 11, 12}; !reflect.DeepEqual(got, want) {
-		t.Errorf("Candidates: got %v, want %v", got, want)
-	}
-	if !reflect.DeepEqual(s.Distances, r.Distances) {
-		t.Errorf("Distances changed: %v", s.Distances)
-	}
-	// The original must be untouched.
-	if got, want := r.Answers, []int32{0, 2}; !reflect.DeepEqual(got, want) {
-		t.Errorf("Shifted mutated the receiver: %v", r.Answers)
-	}
-}
-
-func TestResultShiftedNilAnswers(t *testing.T) {
-	r := Result{Candidates: []int32{1}}
-	if s := r.Shifted(5); s.Answers != nil {
-		t.Fatalf("nil Answers should stay nil, got %v", s.Answers)
-	}
-}
-
-func TestMergeResults(t *testing.T) {
+func TestMergeShifted(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{0, 1}, Distances: []float64{0, 1}, Candidates: []int32{0, 1, 2},
 			Stats: Stats{Verified: 3}},
-		{Answers: []int32{7}, Distances: []float64{2}, Candidates: []int32{7},
+		{Answers: []int32{2}, Distances: []float64{2}, Candidates: []int32{2},
 			Stats: Stats{Verified: 1}},
 	}
-	m := MergeResults(parts)
+	m := MergeShifted(parts, []int32{0, 5})
 	if got, want := m.Answers, []int32{0, 1, 7}; !reflect.DeepEqual(got, want) {
 		t.Errorf("Answers: got %v, want %v", got, want)
 	}
@@ -71,24 +42,31 @@ func TestMergeResults(t *testing.T) {
 	if m.Stats.Verified != 4 {
 		t.Errorf("Stats.Verified: got %d, want 4", m.Stats.Verified)
 	}
+	// The shift must copy, never mutate the per-shard inputs.
+	if got, want := parts[1].Answers, []int32{2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeShifted mutated its input: %v", parts[1].Answers)
+	}
+	if got, want := parts[1].Candidates, []int32{2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeShifted mutated its input: %v", parts[1].Candidates)
+	}
 }
 
-func TestMergeResultsUnverifiedPart(t *testing.T) {
+func TestMergeShiftedUnverifiedPart(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{0}, Distances: []float64{0}, Candidates: []int32{0}},
-		{Candidates: []int32{5}}, // verification skipped in this part
+		{Candidates: []int32{1}}, // verification skipped in this part
 	}
-	if m := MergeResults(parts); m.Answers != nil {
+	if m := MergeShifted(parts, []int32{0, 3}); m.Answers != nil {
 		t.Fatalf("merge with an unverified part should have nil Answers, got %v", m.Answers)
 	}
 }
 
-func TestMergeResultsEmptyAnswerSets(t *testing.T) {
+func TestMergeShiftedEmptyAnswerSets(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{}, Candidates: []int32{}},
 		{Answers: []int32{}, Candidates: []int32{}},
 	}
-	m := MergeResults(parts)
+	m := MergeShifted(parts, []int32{0, 1})
 	if m.Answers == nil || len(m.Answers) != 0 {
 		t.Fatalf("want non-nil empty Answers, got %v", m.Answers)
 	}

@@ -1,0 +1,81 @@
+// Micro-benchmarks of the candidate pipeline: how much time and how many
+// allocations one Search spends per stage. These are the regression
+// numbers BENCH_pis.json tracks; CI runs them with -benchtime=1x as a
+// smoke test. Run locally with:
+//
+//	go test -run '^$' -bench BenchmarkSearchPipeline -benchmem ./internal/core
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pis/internal/graph"
+)
+
+// benchFixture is a database sized so that filtering, not fixture setup,
+// dominates: big enough for non-trivial postings, small enough to iterate.
+type benchFixture struct {
+	fixture
+	queries []*graph.Graph
+}
+
+func newBenchFixture(b *testing.B) benchFixture {
+	b.Helper()
+	fx := newFixture(b, 42, 300)
+	rng := rand.New(rand.NewSource(43))
+	qs := make([]*graph.Graph, 32)
+	for i := range qs {
+		qs[i] = sampleQuery(rng, fx.db, 5+rng.Intn(3))
+	}
+	return benchFixture{fixture: fx, queries: qs}
+}
+
+// BenchmarkSearchPipeline measures the PIS hot path end to end and per
+// stage, with allocation counts. The PIS/Filter sub-benchmark is the
+// filtering stage alone (SkipVerification); PIS/Full includes parallel
+// verification; TopoPrune and Naive are the paper's baselines.
+func BenchmarkSearchPipeline(b *testing.B) {
+	fx := newBenchFixture(b)
+
+	b.Run("PIS/Filter", func(b *testing.B) {
+		s := NewSearcher(fx.db, fx.idx, Options{SkipVerification: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Search(fx.queries[i%len(fx.queries)], 2)
+		}
+	})
+	b.Run("PIS/Full", func(b *testing.B) {
+		s := NewSearcher(fx.db, fx.idx, Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Search(fx.queries[i%len(fx.queries)], 2)
+		}
+	})
+	b.Run("TopoPrune", func(b *testing.B) {
+		s := NewSearcher(fx.db, fx.idx, Options{SkipVerification: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SearchTopoPrune(fx.queries[i%len(fx.queries)], 2)
+		}
+	})
+	b.Run("Naive", func(b *testing.B) {
+		s := NewSearcher(fx.db, fx.idx, Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SearchNaive(fx.queries[i%len(fx.queries)], 2)
+		}
+	})
+	b.Run("KNN", func(b *testing.B) {
+		s := NewSearcher(fx.db, fx.idx, Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SearchKNN(fx.queries[i%len(fx.queries)], 5, 0, 4)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Parallel verification must be invisible in the results: any
+// VerifyWorkers setting (and any GOMAXPROCS) returns the same Answers,
+// Distances and kNN neighbors. Run with -race to catch sharing bugs in
+// the worker pool and the shared shrinking kNN bound.
+
+func TestParallelVerifyDeterministic(t *testing.T) {
+	fx := newFixture(t, 31, 80)
+	rng := rand.New(rand.NewSource(32))
+	workerCounts := []int{1, 2, 3, 8, 16}
+	for trial := 0; trial < 10; trial++ {
+		q := sampleQuery(rng, fx.db, 3+rng.Intn(5))
+		sigma := float64(rng.Intn(4))
+		var base Result
+		for i, w := range workerCounts {
+			s := NewSearcher(fx.db, fx.idx, Options{VerifyWorkers: w})
+			r := s.Search(q, sigma)
+			if i == 0 {
+				base = r
+				continue
+			}
+			if !reflect.DeepEqual(base.Answers, r.Answers) {
+				t.Fatalf("trial %d σ=%v: answers differ between 1 and %d workers: %v vs %v",
+					trial, sigma, w, base.Answers, r.Answers)
+			}
+			if !reflect.DeepEqual(base.Distances, r.Distances) {
+				t.Fatalf("trial %d σ=%v: distances differ between 1 and %d workers", trial, sigma, w)
+			}
+			if !reflect.DeepEqual(base.Candidates, r.Candidates) {
+				t.Fatalf("trial %d σ=%v: candidates differ between 1 and %d workers", trial, sigma, w)
+			}
+		}
+	}
+}
+
+func TestParallelKNNDeterministic(t *testing.T) {
+	fx := newFixture(t, 33, 80)
+	rng := rand.New(rand.NewSource(34))
+	workerCounts := []int{1, 2, 3, 8, 16}
+	for trial := 0; trial < 8; trial++ {
+		q := sampleQuery(rng, fx.db, 3+rng.Intn(5))
+		k := 1 + rng.Intn(10)
+		var base []Neighbor
+		for i, w := range workerCounts {
+			s := NewSearcher(fx.db, fx.idx, Options{VerifyWorkers: w})
+			ns := s.SearchKNN(q, k, 0, 6)
+			if i == 0 {
+				base = ns
+				continue
+			}
+			if !reflect.DeepEqual(base, ns) {
+				t.Fatalf("trial %d k=%d: neighbors differ between 1 and %d workers:\n%v\nvs\n%v",
+					trial, k, w, base, ns)
+			}
+		}
+	}
+}
+
+// TestParallelKNNMatchesThresholdOracle: the shared shrinking bound may
+// cut branch-and-bound work but never change which neighbors come back.
+func TestParallelKNNMatchesThresholdOracle(t *testing.T) {
+	fx := newFixture(t, 35, 60)
+	rng := rand.New(rand.NewSource(36))
+	s := NewSearcher(fx.db, fx.idx, Options{})
+	for trial := 0; trial < 8; trial++ {
+		q := sampleQuery(rng, fx.db, 3+rng.Intn(5))
+		k := 1 + rng.Intn(8)
+		maxSigma := 5.0
+		ns := s.SearchKNN(q, k, 0, maxSigma)
+		// Oracle: verify everything within maxSigma, keep the k smallest
+		// by (distance, id).
+		full := s.SearchNaive(q, maxSigma)
+		type pair struct {
+			id int32
+			d  float64
+		}
+		var all []pair
+		for i, id := range full.Answers {
+			all = append(all, pair{id, full.Distances[i]})
+		}
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0; j-- {
+				a, b := all[j], all[j-1]
+				if a.d < b.d || (a.d == b.d && a.id < b.id) {
+					all[j], all[j-1] = b, a
+				} else {
+					break
+				}
+			}
+		}
+		if len(all) > k {
+			all = all[:k]
+		}
+		if len(ns) != len(all) {
+			t.Fatalf("trial %d k=%d: got %d neighbors, oracle has %d", trial, k, len(ns), len(all))
+		}
+		for i := range ns {
+			if ns[i].ID != all[i].id || ns[i].Distance != all[i].d {
+				t.Fatalf("trial %d k=%d: neighbor %d = %+v, oracle %+v", trial, k, i, ns[i], all[i])
+			}
+		}
+	}
+}

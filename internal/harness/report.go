@@ -8,6 +8,7 @@ package harness
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"time"
 
 	"pis/internal/chem"
@@ -39,6 +40,17 @@ type BenchReport struct {
 	AvgFilterMS         float64 `json:"avg_filter_ms"`
 	AvgVerifyMS         float64 `json:"avg_verify_ms"`
 
+	// Filter-vs-verify split of the instrumented query time, so a
+	// regression in either stage is visible on its own even when the
+	// end-to-end number moves the other way.
+	FilterTimeShare float64 `json:"filter_time_share"`
+	VerifyTimeShare float64 `json:"verify_time_share"`
+
+	// Allocation profile of the serial query loop (heap allocations the
+	// flat candidate pipeline is meant to keep near zero).
+	AvgAllocsPerQuery  float64 `json:"avg_allocs_per_query"`
+	AvgAllocKBPerQuery float64 `json:"avg_alloc_kb_per_query"`
+
 	// End-to-end throughput (filter + verify, serial).
 	TotalMS       float64 `json:"total_ms"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
@@ -61,8 +73,11 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 		queryEdges = maxM
 	}
 	qs := chem.SampleQueries(env.DB, cfg.Queries, queryEdges, cfg.Seed+7)
+	// VerifyWorkers: 1 keeps the loop fully serial so the per-query
+	// allocation and stage-time numbers measure the pipeline itself, not
+	// worker-pool spawning or parallel wall-time effects.
 	s := core.NewSearcher(env.DB, env.Index, core.Options{
-		Lambda: cfg.Lambda, PartitionK: cfg.PartitionK,
+		Lambda: cfg.Lambda, PartitionK: cfg.PartitionK, VerifyWorkers: 1,
 	})
 	ist := env.Index.Stats()
 	rep := BenchReport{
@@ -77,6 +92,8 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 		Fragments:        ist.Fragments,
 		Sequences:        ist.Sequences,
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var agg core.Stats
 	answers := 0
@@ -86,6 +103,7 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 		answers += len(r.Answers)
 	}
 	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	n := float64(len(qs))
 	rep.AvgQueryFragments = float64(agg.QueryFragments) / n
 	rep.AvgStructCandidates = float64(agg.StructCandidates) / n
@@ -94,6 +112,12 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 	rep.AvgAnswers = float64(answers) / n
 	rep.AvgFilterMS = ms(agg.FilterTime) / n
 	rep.AvgVerifyMS = ms(agg.VerifyTime) / n
+	if staged := agg.FilterTime + agg.VerifyTime; staged > 0 {
+		rep.FilterTimeShare = float64(agg.FilterTime) / float64(staged)
+		rep.VerifyTimeShare = float64(agg.VerifyTime) / float64(staged)
+	}
+	rep.AvgAllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / n
+	rep.AvgAllocKBPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / 1024 / n
 	rep.TotalMS = ms(wall)
 	rep.QueriesPerSec = n / wall.Seconds()
 	return rep

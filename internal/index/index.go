@@ -18,6 +18,7 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"pis/internal/canon"
@@ -110,6 +111,10 @@ type Index struct {
 	classes map[string]*Class
 	list    []*Class
 	dbSize  int
+	// memo caches canonical skeleton codes so structurally identical
+	// fragments — the overwhelming majority of enumerated fragments — are
+	// canonicalized once, at build time and at query time alike.
+	memo *canon.Memo
 }
 
 // Classes returns all classes ordered by ID.
@@ -146,7 +151,12 @@ func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, 
 		opts.MaxFragmentEdges = maxE
 	}
 
-	x := &Index{opts: opts, classes: make(map[string]*Class, len(features)), dbSize: len(db)}
+	x := &Index{
+		opts:    opts,
+		classes: make(map[string]*Class, len(features)),
+		dbSize:  len(db),
+		memo:    canon.NewMemo(),
+	}
 	for _, f := range features {
 		if f.Edges > opts.MaxFragmentEdges {
 			continue
@@ -203,7 +213,7 @@ func (x *Index) insertGraph(id int32, g *graph.Graph) {
 	graph.EnumerateConnectedSubgraphs(g, x.opts.MaxFragmentEdges, func(edges []int32) bool {
 		frag := graph.Fragment{Host: g, Edges: edges}
 		sub, _, _ := frag.Extract()
-		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		code, embs := x.memo.MinCodeUnlabeled(sub)
 		c := x.classes[code.Key()]
 		if c == nil {
 			return true
@@ -266,8 +276,15 @@ func (c *Class) canonicalVariant(seq []uint32) []uint32 {
 }
 
 // Variants returns every distinct automorphism variant of seq, used to
-// probe the class index with a query fragment.
+// probe the class index with a query fragment. For a class with a single
+// automorphism (the identity — the common case) the result aliases seq
+// without copying; callers must not modify the returned slices.
 func (c *Class) Variants(seq []uint32) [][]uint32 {
+	if len(c.perms) == 1 {
+		// A lone automorphism of the canonical structure is necessarily the
+		// identity, so the only variant is seq itself.
+		return [][]uint32{seq}
+	}
 	seen := map[string]bool{}
 	var out [][]uint32
 	tmp := make([]uint32, len(seq))
@@ -336,11 +353,16 @@ func sameSlice(a, b []uint32) bool {
 	return true
 }
 
+// seqKey encodes a sequence as a byte string for dedup. All four bytes of
+// every symbol are kept: truncating would silently collide symbols that
+// differ only above the low 16 bits, merging distinct variants.
 func seqKey(seq []uint32) string {
-	b := make([]byte, len(seq)*2)
+	b := make([]byte, len(seq)*4)
 	for i, s := range seq {
-		b[2*i] = byte(s)
-		b[2*i+1] = byte(s >> 8)
+		b[4*i] = byte(s)
+		b[4*i+1] = byte(s >> 8)
+		b[4*i+2] = byte(s >> 16)
+		b[4*i+3] = byte(s >> 24)
 	}
 	return string(b)
 }
@@ -362,7 +384,7 @@ func (x *Index) QueryFragments(q *graph.Graph) []QueryFragment {
 		sort.Slice(ecopy, func(i, j int) bool { return ecopy[i] < ecopy[j] })
 		frag := graph.Fragment{Host: q, Edges: ecopy}
 		sub, _, _ := frag.Extract()
-		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		code, embs := x.memo.MinCodeUnlabeled(sub)
 		c := x.classes[code.Key()]
 		if c == nil {
 			return true
@@ -407,27 +429,105 @@ func fragmentWeights(sub *graph.Graph, c *Class, emb canon.Embedding) []float64 
 	return vec
 }
 
-// RangeQuery answers d(g, G) <= sigma for one query fragment: it returns
-// the minimum fragment distance per graph id over every superposition
-// (Eq. 3 of the paper). Graphs without any in-range fragment are absent.
-func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
+// PostingList is the flat result of one range query: graph ids ascending
+// with the minimum fragment distance aligned per id. The slices are owned
+// by the caller-provided buffer and reused across queries; consumers must
+// finish with them before the next RangeQueryInto on the same buffer.
+type PostingList struct {
+	IDs   []int32
+	Dists []float64
+}
+
+// Len returns the number of in-range graphs.
+func (pl *PostingList) Len() int { return len(pl.IDs) }
+
+// RangeBuffer is the dedup and probe scratch shared by every
+// RangeQueryInto call of one query. Duplicate observations are folded
+// through an epoch-stamped dense array indexed by graph id, so recording
+// is O(1) per observation and only the distinct ids are sorted. One
+// buffer per query keeps the O(dbSize) dense state single, not one copy
+// per fragment.
+type RangeBuffer struct {
+	dense []float64 // min distance per graph id, valid where stamp == epoch
+	stamp []uint32
+	epoch uint32
+
+	useq []uint32  // flat storage of already-probed sequence variants
+	vvec []float64 // R-tree probe variant
+}
+
+// begin resets the buffer for a database of n graphs.
+func (rb *RangeBuffer) begin(n int) {
+	if len(rb.stamp) < n {
+		rb.stamp = make([]uint32, n)
+		rb.dense = make([]float64, n)
+		rb.epoch = 0
+	}
+	rb.epoch++
+	if rb.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		clear(rb.stamp)
+		rb.epoch = 1
+	}
+}
+
+// RangeQueryInto answers d(g, G) <= sigma for one query fragment into
+// reusable buffers: after the call pl holds the in-range graph ids
+// ascending with the minimum fragment distance over every superposition
+// aligned per id (Eq. 3 of the paper). Graphs without any in-range
+// fragment are absent. A steady-state call allocates nothing beyond
+// buffer growth.
+func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList, rb *RangeBuffer) {
 	c := qf.Class
-	out := make(map[int32]float64)
+	pl.IDs = pl.IDs[:0]
+	pl.Dists = pl.Dists[:0]
+	rb.begin(x.dbSize)
 	record := func(id int32, d float64) {
-		if prev, ok := out[id]; !ok || d < prev {
-			out[id] = d
+		if rb.stamp[id] != rb.epoch {
+			rb.stamp[id] = rb.epoch
+			rb.dense[id] = d
+			pl.IDs = append(pl.IDs, id)
+			return
+		}
+		if d < rb.dense[id] {
+			rb.dense[id] = d
 		}
 	}
 	switch x.opts.Kind {
 	case TrieIndex:
 		cost := func(pos int, a, b uint32) float64 { return c.positionCost(x.opts.Metric, pos, a, b) }
-		for _, variant := range c.Variants(qf.Seq) {
+		probe := func(variant []uint32) {
 			c.trie.Range(variant, sigma, cost, func(d float64, graphs []int32) bool {
 				for _, id := range graphs {
 					record(id, d)
 				}
 				return true
 			})
+		}
+		if len(c.perms) == 1 {
+			// A lone automorphism is the identity: probe seq directly.
+			probe(qf.Seq)
+			break
+		}
+		// Generate variants into flat scratch, skipping duplicates; the
+		// handful of automorphisms (≤ 2n for cycles) makes the quadratic
+		// dedup scan cheaper than any map.
+		L := len(qf.Seq)
+		rb.useq = rb.useq[:0]
+		for _, p := range c.perms {
+			base := len(rb.useq)
+			for _, src := range p {
+				rb.useq = append(rb.useq, qf.Seq[src])
+			}
+			variant := rb.useq[base : base+L]
+			dup := false
+			for off := 0; off < base && !dup; off += L {
+				dup = sameSlice(rb.useq[off:off+L], variant)
+			}
+			if dup {
+				rb.useq = rb.useq[:base]
+				continue
+			}
+			probe(variant)
 		}
 	case VPTreeIndex:
 		cc := c
@@ -438,8 +538,11 @@ func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
 			return true
 		})
 	case RTreeIndex:
+		if cap(rb.vvec) < len(qf.Vec) {
+			rb.vvec = make([]float64, len(qf.Vec))
+		}
+		variant := rb.vvec[:len(qf.Vec)]
 		for _, p := range c.perms {
-			variant := make([]float64, len(qf.Vec))
 			for i, src := range p {
 				variant[i] = qf.Vec[src]
 			}
@@ -448,6 +551,23 @@ func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
 				return true
 			})
 		}
+	}
+	// Sort the distinct ids and lay out their minimum distances.
+	slices.Sort(pl.IDs)
+	for _, id := range pl.IDs {
+		pl.Dists = append(pl.Dists, rb.dense[id])
+	}
+}
+
+// RangeQuery is RangeQueryInto with a freshly allocated map result, kept
+// for tests and ad-hoc callers; the search hot path uses RangeQueryInto.
+func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
+	var pl PostingList
+	var rb RangeBuffer
+	x.RangeQueryInto(qf, sigma, &pl, &rb)
+	out := make(map[int32]float64, len(pl.IDs))
+	for i, id := range pl.IDs {
+		out[id] = pl.Dists[i]
 	}
 	return out
 }

@@ -11,7 +11,6 @@ import (
 	"runtime"
 	"sync"
 
-	"pis/internal/canon"
 	"pis/internal/graph"
 	"pis/internal/mining"
 	"pis/internal/rtree"
@@ -116,7 +115,7 @@ func (x *Index) computeOps(g *graph.Graph) []insertOp {
 	graph.EnumerateConnectedSubgraphs(g, x.opts.MaxFragmentEdges, func(edges []int32) bool {
 		frag := graph.Fragment{Host: g, Edges: edges}
 		sub, _, _ := frag.Extract()
-		code, embs := canon.MinCodeUnlabeled(sub.Skeleton())
+		code, embs := x.memo.MinCodeUnlabeled(sub)
 		c := x.classes[code.Key()]
 		if c == nil {
 			return true

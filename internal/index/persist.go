@@ -128,6 +128,7 @@ func Load(r io.Reader, metric distance.Metric) (*Index, error) {
 		},
 		classes: make(map[string]*Class, len(p.Classes)),
 		dbSize:  p.DBSize,
+		memo:    canon.NewMemo(),
 	}
 	for _, pc := range p.Classes {
 		code := canon.Code(pc.Code)

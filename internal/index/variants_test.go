@@ -1,0 +1,52 @@
+package index
+
+import "testing"
+
+// Regression: seqKey used to truncate each uint32 symbol to its low 2
+// bytes, so symbols differing only above bit 15 produced identical dedup
+// keys and Variants silently merged distinct automorphism variants.
+func TestSeqKeyKeepsAllFourBytes(t *testing.T) {
+	a := seqKey([]uint32{1 << 16, 2 << 16})
+	b := seqKey([]uint32{2 << 16, 1 << 16})
+	if a == b {
+		t.Fatal("seqKey collides on symbols that differ only in the high bytes")
+	}
+	if got, want := len(seqKey([]uint32{7})), 4; got != want {
+		t.Fatalf("seqKey encodes %d bytes per symbol, want %d", got, want)
+	}
+}
+
+func TestVariantsHighSymbolsStayDistinct(t *testing.T) {
+	// Two sequence positions swapped by one non-trivial automorphism.
+	c := &Class{perms: [][]int{{0, 1}, {1, 0}}}
+	seq := []uint32{1 << 16, 2 << 16}
+	vs := c.Variants(seq)
+	if len(vs) != 2 {
+		t.Fatalf("got %d variants, want 2 (high-byte symbols merged?)", len(vs))
+	}
+	if vs[0][0] != 1<<16 || vs[1][0] != 2<<16 {
+		t.Fatalf("unexpected variants %v", vs)
+	}
+}
+
+func TestVariantsSingleAutomorphismAliasesInput(t *testing.T) {
+	c := &Class{perms: [][]int{{0, 1, 2}}}
+	seq := []uint32{5, 6, 7}
+	vs := c.Variants(seq)
+	if len(vs) != 1 {
+		t.Fatalf("got %d variants, want 1", len(vs))
+	}
+	// The single-automorphism fast path must not copy.
+	if &vs[0][0] != &seq[0] {
+		t.Error("single-automorphism variant was copied; want the input slice returned as-is")
+	}
+}
+
+func TestVariantsDedupsEqualPermutations(t *testing.T) {
+	// Symmetric sequence: both automorphisms generate the same variant.
+	c := &Class{perms: [][]int{{0, 1}, {1, 0}}}
+	vs := c.Variants([]uint32{9, 9})
+	if len(vs) != 1 {
+		t.Fatalf("got %d variants, want 1 after dedup", len(vs))
+	}
+}

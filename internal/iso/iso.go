@@ -16,29 +16,21 @@ import (
 	"pis/internal/graph"
 )
 
-// matcher carries the state of one VF2 search.
-type matcher struct {
-	p, h     *graph.Graph
+// patternPlan is the host-independent half of a VF2 search: the match
+// order of one pattern, computed once and reused against any number of
+// hosts.
+type patternPlan struct {
+	p        *graph.Graph
 	order    []int32 // pattern vertices in match order (connected expansion)
 	porder   []int32 // for order[k], a previously matched neighbor anchor (or -1)
 	pAnchorE []int32 // pattern edge joining order[k] to its anchor (or -1)
-	assign   []int32 // pattern vertex -> host vertex (-1 unassigned)
-	usedHost []bool
 }
 
-// matchOrder computes a connected expansion order for the pattern: after
-// the first vertex, each vertex is adjacent to an earlier one. Patterns
-// must be connected; the caller enforces it.
-func newMatcher(p, h *graph.Graph) *matcher {
-	m := &matcher{
-		p:        p,
-		h:        h,
-		assign:   make([]int32, p.N()),
-		usedHost: make([]bool, h.N()),
-	}
-	for i := range m.assign {
-		m.assign[i] = -1
-	}
+// newPatternPlan computes a connected expansion order for the pattern:
+// after the first vertex, each vertex is adjacent to an earlier one.
+// Patterns must be connected and non-empty; the caller enforces it.
+func newPatternPlan(p *graph.Graph) *patternPlan {
+	pl := &patternPlan{p: p}
 	n := p.N()
 	visited := make([]bool, n)
 	// Start from a max-degree vertex: fewer host candidates.
@@ -48,15 +40,15 @@ func newMatcher(p, h *graph.Graph) *matcher {
 			start = v
 		}
 	}
-	m.order = append(m.order, int32(start))
-	m.porder = append(m.porder, -1)
-	m.pAnchorE = append(m.pAnchorE, -1)
+	pl.order = append(pl.order, int32(start))
+	pl.porder = append(pl.porder, -1)
+	pl.pAnchorE = append(pl.pAnchorE, -1)
 	visited[start] = true
-	for len(m.order) < n {
+	for len(pl.order) < n {
 		best := int32(-1)
 		var bestAnchor, bestEdge int32
 		bestDeg := -1
-		for _, u := range m.order {
+		for _, u := range pl.order {
 			for _, e := range p.IncidentEdges(int(u)) {
 				w := p.Other(int(e), u)
 				if !visited[w] && p.Degree(int(w)) > bestDeg {
@@ -68,10 +60,46 @@ func newMatcher(p, h *graph.Graph) *matcher {
 			panic("iso: disconnected pattern")
 		}
 		visited[best] = true
-		m.order = append(m.order, best)
-		m.porder = append(m.porder, bestAnchor)
-		m.pAnchorE = append(m.pAnchorE, bestEdge)
+		pl.order = append(pl.order, best)
+		pl.porder = append(pl.porder, bestAnchor)
+		pl.pAnchorE = append(pl.pAnchorE, bestEdge)
 	}
+	return pl
+}
+
+// matcher carries the state of one VF2 search: a pattern plan bound to a
+// host with backtracking buffers.
+type matcher struct {
+	*patternPlan
+	h        *graph.Graph
+	assign   []int32 // pattern vertex -> host vertex (-1 unassigned)
+	usedHost []bool
+}
+
+// bindHost points the matcher at a host, growing and resetting the
+// per-host buffers. Backtracking leaves both buffers clean on unwind, so
+// rebinding after a completed search only needs to handle growth.
+func (m *matcher) bindHost(h *graph.Graph) {
+	m.h = h
+	if cap(m.assign) < m.p.N() {
+		m.assign = make([]int32, m.p.N())
+	}
+	m.assign = m.assign[:m.p.N()]
+	for i := range m.assign {
+		m.assign[i] = -1
+	}
+	if cap(m.usedHost) < h.N() {
+		m.usedHost = make([]bool, h.N())
+	}
+	m.usedHost = m.usedHost[:h.N()]
+	for i := range m.usedHost {
+		m.usedHost[i] = false
+	}
+}
+
+func newMatcher(p, h *graph.Graph) *matcher {
+	m := &matcher{patternPlan: newPatternPlan(p)}
+	m.bindHost(h)
 	return m
 }
 
@@ -190,16 +218,39 @@ func SuperpositionCost(q, g *graph.Graph, assign []int32, m distance.Metric) flo
 	return cost
 }
 
-// MinSuperimposedDistance computes d(Q,G) of Definition 1: the minimum
-// metric cost over all superpositions of Q in G, searched with branch and
-// bound — partial superpositions already costlier than both budget and the
-// best found so far are cut. It returns distance.Infinite when Q's
-// structure does not occur in G or every superposition costs more than
-// budget. Pass budget < 0 for an unbounded exact minimum.
-func MinSuperimposedDistance(q, g *graph.Graph, metric distance.Metric, budget float64) float64 {
+// Verifier computes superimposed distances of one query pattern against
+// many host graphs, amortizing the match-order computation and the
+// backtracking buffers across candidates. One Verifier serves one
+// goroutine; a verification worker pool creates one per worker.
+type Verifier struct {
+	metric distance.Metric
+	m      matcher
+	empty  bool // q has no vertices: every distance is 0
+}
+
+// NewVerifier prepares a verifier for query q under the given metric. q
+// must be connected (or empty).
+func NewVerifier(q *graph.Graph, metric distance.Metric) *Verifier {
+	v := &Verifier{metric: metric}
 	if q.N() == 0 {
+		v.empty = true
+		return v
+	}
+	v.m.patternPlan = newPatternPlan(q)
+	return v
+}
+
+// Distance computes d(Q,G) of Definition 1: the minimum metric cost over
+// all superpositions of Q in G, searched with branch and bound — partial
+// superpositions already costlier than both budget and the best found so
+// far are cut. It returns distance.Infinite when Q's structure does not
+// occur in G or every superposition costs more than budget. Pass budget
+// < 0 for an unbounded exact minimum.
+func (v *Verifier) Distance(g *graph.Graph, budget float64) float64 {
+	if v.empty {
 		return 0
 	}
+	q := v.m.p
 	if q.N() > g.N() || q.M() > g.M() {
 		return distance.Infinite
 	}
@@ -208,7 +259,9 @@ func MinSuperimposedDistance(q, g *graph.Graph, metric distance.Metric, budget f
 		limit = budget
 	}
 	best := distance.Infinite
-	m := newMatcher(q, g)
+	m := &v.m
+	m.bindHost(g)
+	metric := v.metric
 
 	// Incremental cost per depth: when order[k] is assigned we add its
 	// vertex cost plus the costs of every pattern edge whose other endpoint
@@ -267,6 +320,12 @@ func MinSuperimposedDistance(q, g *graph.Graph, metric distance.Metric, budget f
 		return distance.Infinite
 	}
 	return best
+}
+
+// MinSuperimposedDistance is the one-shot form of Verifier.Distance; use a
+// Verifier when checking one query against many graphs.
+func MinSuperimposedDistance(q, g *graph.Graph, metric distance.Metric, budget float64) float64 {
+	return NewVerifier(q, metric).Distance(g, budget)
 }
 
 // Isomorphic reports whether two graphs have identical structure and size

@@ -124,6 +124,7 @@ func Mine(db []*graph.Graph, opts Options) ([]Feature, error) {
 	}
 	counts := map[string]*acc{}
 	perGraph := map[string]bool{}
+	memo := canon.NewMemo() // fragment shapes recur across the whole sample
 	for _, g := range sample {
 		clearMap(perGraph)
 		skel := g.Skeleton()
@@ -133,7 +134,7 @@ func Mine(db []*graph.Graph, opts Options) ([]Feature, error) {
 			}
 			frag := graph.Fragment{Host: skel, Edges: edges}
 			sub, _, _ := frag.Extract()
-			code, _ := canon.MinCodeUnlabeled(sub)
+			code, _ := memo.MinCodeUnlabeled(sub)
 			key := code.Key()
 			if perGraph[key] {
 				return true
@@ -191,6 +192,7 @@ func discriminative(feats []Feature, gamma float64) []Feature {
 	bySize := append([]Feature(nil), feats...)
 	sort.Slice(bySize, func(i, j int) bool { return bySize[i].Edges < bySize[j].Edges })
 	kept := map[string]Feature{}
+	memo := canon.NewMemo()
 	var out []Feature
 	for _, f := range bySize {
 		minSub := -1
@@ -200,7 +202,7 @@ func discriminative(feats []Feature, gamma float64) []Feature {
 			}
 			frag := graph.Fragment{Host: f.Graph, Edges: edges}
 			sub, _, _ := frag.Extract()
-			code, _ := canon.MinCodeUnlabeled(sub)
+			code, _ := memo.MinCodeUnlabeled(sub)
 			if kf, ok := kept[code.Key()]; ok {
 				if minSub < 0 || kf.Support < minSub {
 					minSub = kf.Support

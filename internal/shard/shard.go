@@ -63,13 +63,54 @@ func Split(n, k int) []Range {
 	return out
 }
 
-// Shard is one database slice with its own index and searcher. Graph ids
-// inside Searcher are shard-local; Start translates them to global ids.
+// divideVerifyWorkers splits the default per-query verification
+// parallelism across shards: a fan-out query already runs one goroutine
+// per shard, so letting every shard's searcher also claim GOMAXPROCS
+// verify workers would oversubscribe the CPU nShards-fold. An explicit
+// setting is honored per shard; the 0 default divides GOMAXPROCS.
+//
+// SearchBatch layers its own worker bound on top, so a saturated batch
+// still oversubscribes by roughly its in-flight query count; that churn
+// is transient (verification goroutines are short-lived and capped by
+// candidate count) and accepted in exchange for keeping worker counts a
+// per-searcher constant. Callers needing strict core budgeting can set
+// Core.VerifyWorkers = 1.
+func divideVerifyWorkers(w, nShards int) int {
+	if w != 0 {
+		return w
+	}
+	w = runtime.GOMAXPROCS(0) / nShards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shard is one database slice with its own index and searchers. Graph ids
+// inside the searchers are shard-local; Start translates them to global
+// ids. Searcher serves the concurrent fan-out (Search/SearchBatch) with
+// verification parallelism divided across shards; KNNSearcher serves the
+// sequential shrinking-radius kNN walk, where only one shard runs at a
+// time and may use the full budget.
 type Shard struct {
-	Start    int32
-	Graphs   []*graph.Graph
-	Index    *index.Index
-	Searcher *core.Searcher
+	Start       int32
+	Graphs      []*graph.Graph
+	Index       *index.Index
+	Searcher    *core.Searcher
+	KNNSearcher *core.Searcher
+}
+
+// newShard builds both searchers over one slice + index pair.
+func newShard(slice []*graph.Graph, start int, idx *index.Index, copts core.Options, nShards int) *Shard {
+	fanout := copts
+	fanout.VerifyWorkers = divideVerifyWorkers(copts.VerifyWorkers, nShards)
+	return &Shard{
+		Start:       int32(start),
+		Graphs:      slice,
+		Index:       idx,
+		Searcher:    core.NewSearcher(slice, idx, fanout),
+		KNNSearcher: core.NewSearcher(slice, idx, copts),
+	}
 }
 
 // DB is a sharded PIS database.
@@ -96,7 +137,7 @@ func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
 		wg.Add(1)
 		go func(i int, rg Range) {
 			defer wg.Done()
-			shards[i], errs[i] = buildShard(graphs[rg.Start:rg.End], rg.Start, cfg)
+			shards[i], errs[i] = buildShard(graphs[rg.Start:rg.End], rg.Start, cfg, len(ranges))
 		}(i, rg)
 	}
 	wg.Wait()
@@ -108,7 +149,7 @@ func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
 	return &DB{graphs: graphs, shards: shards}, nil
 }
 
-func buildShard(slice []*graph.Graph, start int, cfg Config) (*Shard, error) {
+func buildShard(slice []*graph.Graph, start int, cfg Config, nShards int) (*Shard, error) {
 	feats, err := mining.Mine(slice, cfg.Mining)
 	if err != nil {
 		return nil, fmt.Errorf("mining features: %w", err)
@@ -120,12 +161,7 @@ func buildShard(slice []*graph.Graph, start int, cfg Config) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building index: %w", err)
 	}
-	return &Shard{
-		Start:    int32(start),
-		Graphs:   slice,
-		Index:    idx,
-		Searcher: core.NewSearcher(slice, idx, cfg.Core),
-	}, nil
+	return newShard(slice, start, idx, cfg.Core, nShards), nil
 }
 
 // Load reconstructs a sharded database from one index stream per shard,
@@ -153,13 +189,7 @@ func Load(graphs []*graph.Graph, readers []io.Reader, metric distance.Metric, co
 			return nil, fmt.Errorf("shard %d: index covers %d graphs, slice has %d",
 				i, idx.DBSize(), rg.End-rg.Start)
 		}
-		slice := graphs[rg.Start:rg.End]
-		shards[i] = &Shard{
-			Start:    int32(rg.Start),
-			Graphs:   slice,
-			Index:    idx,
-			Searcher: core.NewSearcher(slice, idx, copts),
-		}
+		shards[i] = newShard(graphs[rg.Start:rg.End], rg.Start, idx, copts, len(ranges))
 	}
 	return &DB{graphs: graphs, shards: shards}, nil
 }
@@ -184,19 +214,24 @@ func (d *DB) Graph(id int32) *graph.Graph { return d.graphs[id] }
 
 // Search fans the query out to every shard concurrently and merges the
 // per-shard results into one Result with global ids. The answer set is
-// identical to an unsharded search over the same graphs.
+// identical to an unsharded search over the same graphs. The merge
+// consumes the shard-local sorted id lists directly — per-shard results
+// are shifted as they are copied into the final slices, not re-allocated
+// shard by shard.
 func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
 	parts := make([]core.Result, len(d.shards))
+	offsets := make([]int32, len(d.shards))
 	var wg sync.WaitGroup
 	for i, sh := range d.shards {
+		offsets[i] = sh.Start
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
-			parts[i] = sh.Searcher.Search(q, sigma).Shifted(sh.Start)
+			parts[i] = sh.Searcher.Search(q, sigma)
 		}(i, sh)
 	}
 	wg.Wait()
-	return core.MergeResults(parts)
+	return core.MergeShifted(parts, offsets)
 }
 
 // SearchBatch answers many queries, each fanning out across all shards,
@@ -240,7 +275,7 @@ func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor 
 			// Radius already tight: one pass at exactly the bound suffices.
 			start = radius
 		}
-		ns := sh.Searcher.SearchKNN(q, k, start, radius)
+		ns := sh.KNNSearcher.SearchKNN(q, k, start, radius)
 		for _, n := range ns {
 			best = append(best, core.Neighbor{ID: n.ID + sh.Start, Distance: n.Distance})
 		}

@@ -127,6 +127,10 @@ type Options struct {
 	// BuildWorkers parallelizes index construction across goroutines
 	// (0 = GOMAXPROCS, 1 = serial). The index is identical either way.
 	BuildWorkers int
+	// VerifyWorkers parallelizes candidate verification within one query,
+	// best-first by the partition lower bound (0 = GOMAXPROCS, 1 =
+	// serial). Answers and distances are identical for any setting.
+	VerifyWorkers int
 	// UseGSpan mines features by pattern growth instead of
 	// enumerate-and-count; the feature set is identical.
 	UseGSpan bool
@@ -181,6 +185,7 @@ func (o Options) coreOptions() core.Options {
 		Lambda:               o.Lambda,
 		PartitionK:           o.PartitionK,
 		MaxFragmentsPerQuery: o.MaxFragmentsPerQuery,
+		VerifyWorkers:        o.VerifyWorkers,
 	}
 }
 
@@ -314,12 +319,7 @@ func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 	if idx.DBSize() != len(graphs) {
 		return nil, fmt.Errorf("pis: index covers %d graphs, got %d", idx.DBSize(), len(graphs))
 	}
-	s := core.NewSearcher(graphs, idx, core.Options{
-		Epsilon:              opts.Epsilon,
-		Lambda:               opts.Lambda,
-		PartitionK:           opts.PartitionK,
-		MaxFragmentsPerQuery: opts.MaxFragmentsPerQuery,
-	})
+	s := core.NewSearcher(graphs, idx, opts.coreOptions())
 	return &Database{graphs: graphs, index: idx, searcher: s}, nil
 }
 
