@@ -9,9 +9,13 @@
 //	                                                  # restarts skip mining
 //
 // Endpoints: POST /search, POST /knn, POST /batch, GET /graphs/{id},
-// GET /stats, GET /healthz. The process shuts down gracefully on SIGINT
-// or SIGTERM, draining in-flight requests. See README.md for request
-// bodies and curl examples.
+// POST /graphs (insert), DELETE /graphs/{id}, POST /compact, GET /stats,
+// GET /healthz. Mutations are in-memory only: a saved -index-dir always
+// reflects the database file it was built from, so a restart serves the
+// original file and replayed mutations are the client's responsibility.
+// The process shuts down gracefully on SIGINT or SIGTERM, draining
+// in-flight requests. See README.md for request bodies and curl
+// examples.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		cache    = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
 		indexDir = flag.String("index-dir", "", "directory for per-shard index files; loaded when present, written after a fresh build")
+		compact  = flag.Float64("compact-fraction", 0.25, "auto-compact a shard when its insert delta exceeds this fraction of its indexed size (negative disables)")
 	)
 	flag.Parse()
 	if (*dbPath == "") == (*genN == 0) {
@@ -67,7 +72,7 @@ func main() {
 	}
 	log.Printf("database: %d graphs", len(graphs))
 
-	opts := pis.Options{MaxFragmentEdges: *maxFrag}
+	opts := pis.Options{MaxFragmentEdges: *maxFrag, CompactFraction: *compact}
 	db, err := openSharded(graphs, *shards, opts, *indexDir)
 	if err != nil {
 		log.Fatal(err)

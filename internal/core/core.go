@@ -100,6 +100,41 @@ type Result struct {
 	Stats      Stats
 }
 
+// View is an immutable snapshot of the mutable overlay of one database
+// segment: graphs appended after the index was built (the delta) and
+// graphs deleted since (the tombstones). Ids are segment-local — base
+// graph i keeps id i, delta graph j has id len(base)+j — and the
+// tombstone set covers that combined id space. The zero View is the
+// unmutated database, and every search path treats it as such at zero
+// cost.
+//
+// A View is captured once per request under the segment's lock and then
+// used lock-free: Tombs is copy-on-write and Delta append-only, so the
+// snapshot stays internally consistent for the whole search even while
+// mutations land concurrently (per-request snapshot semantics).
+type View struct {
+	// Tombs marks deleted local ids; nil = none.
+	Tombs *index.Tombstones
+	// Delta holds the graphs appended after the index build, in insertion
+	// order. They are unindexed: searches verify them directly, exactly
+	// like the paper's naive baseline does for the whole database.
+	Delta []*graph.Graph
+}
+
+// Empty reports whether the view adds nothing to the base database.
+func (v View) Empty() bool { return v.Tombs == nil && len(v.Delta) == 0 }
+
+// appendLiveDelta appends the local ids of non-deleted delta graphs
+// (base+i for delta position i) to dst.
+func (v View) appendLiveDelta(dst []int32, base int) []int32 {
+	for i := range v.Delta {
+		if id := int32(base + i); !v.Tombs.Has(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
 // Searcher runs SSSD queries against one database + index pair. It is
 // safe for concurrent use; per-query working memory comes from an
 // internal scratch pool.
@@ -181,15 +216,25 @@ func (sc *scratch) postingLists(k int) []index.PostingList {
 
 // SearchNaive verifies every graph in the database.
 func (s *Searcher) SearchNaive(q *graph.Graph, sigma float64) Result {
+	return s.SearchNaiveView(q, sigma, View{})
+}
+
+// SearchNaiveView is SearchNaive over a mutation snapshot: every live
+// graph — base minus tombstones plus live delta — is verified.
+func (s *Searcher) SearchNaiveView(q *graph.Graph, sigma float64, view View) Result {
 	var r Result
-	r.Candidates = make([]int32, len(s.db))
-	for i := range r.Candidates {
-		r.Candidates[i] = int32(i)
+	n := len(s.db)
+	r.Candidates = make([]int32, 0, n+len(view.Delta))
+	for i := 0; i < n; i++ {
+		if id := int32(i); !view.Tombs.Has(id) {
+			r.Candidates = append(r.Candidates, id)
+		}
 	}
-	r.Stats.StructCandidates = len(s.db)
-	r.Stats.DistCandidates = len(s.db)
+	r.Candidates = view.appendLiveDelta(r.Candidates, n)
+	r.Stats.StructCandidates = len(r.Candidates)
+	r.Stats.DistCandidates = len(r.Candidates)
 	sc := s.getScratch()
-	s.verify(q, sigma, &r, nil, sc)
+	s.verify(q, sigma, &r, nil, sc, view)
 	s.putScratch(sc)
 	return r
 }
@@ -198,49 +243,75 @@ func (s *Searcher) SearchNaive(q *graph.Graph, sigma float64) Result {
 // contains every indexed fragment structure of the query, then gets
 // verified (the baseline of §2 and §7).
 func (s *Searcher) SearchTopoPrune(q *graph.Graph, sigma float64) Result {
+	return s.SearchTopoPruneView(q, sigma, View{})
+}
+
+// SearchTopoPruneView is SearchTopoPrune over a mutation snapshot. Delta
+// graphs are unindexed, so structure filtering cannot touch them: every
+// live delta graph goes straight to verification.
+func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View) Result {
 	var r Result
 	start := time.Now()
 	sc := s.getScratch()
 	frags := s.usableFragments(q, sigma, &r.Stats)
-	cands := s.structuralCandidates(frags, sc)
+	cands := s.structuralCandidates(frags, sc, view.Tombs)
 	r.Stats.StructCandidates = len(cands)
-	r.Stats.DistCandidates = len(cands) // no distance pruning in this method
-	r.Candidates = append(make([]int32, 0, len(cands)), cands...)
+	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
+	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
+	r.Stats.DistCandidates = len(r.Candidates) // no distance pruning in this method
 	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r, nil, sc)
+	s.verify(q, sigma, &r, nil, sc, view)
 	s.putScratch(sc)
 	return r
 }
 
 // Search runs the full PIS pipeline (Algorithm 2).
 func (s *Searcher) Search(q *graph.Graph, sigma float64) Result {
+	return s.SearchView(q, sigma, View{})
+}
+
+// SearchView runs the PIS pipeline over a mutation snapshot: the indexed
+// base is filtered as usual (range queries and postings skip tombstoned
+// ids), and the live delta graphs join the candidate set with a zero
+// lower bound, so the best-first verifier handles them first and the
+// answer set is exactly a fresh index over the surviving graphs.
+func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
 	var r Result
 	start := time.Now()
 	sc := s.getScratch()
-	cands, lbs := s.filter(q, sigma, &r.Stats, sc)
-	r.Candidates = append(make([]int32, 0, len(cands)), cands...)
+	cands, lbs := s.filter(q, sigma, &r.Stats, sc, view.Tombs)
+	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
+	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
+	if lbs != nil {
+		for i := len(cands); i < len(r.Candidates); i++ {
+			lbs = append(lbs, 0)
+		}
+		sc.lbs = lbs
+	}
 	r.Stats.DistCandidates = len(r.Candidates)
 	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r, lbs, sc)
+	s.verify(q, sigma, &r, lbs, sc, view)
 	s.putScratch(sc)
 	return r
 }
 
 // filter runs the PIS filtering stage (Algorithm 2 lines 3-23) and
 // returns the surviving candidate ids ascending plus, when a partition
-// was applied, the Eq. 2 lower bound aligned per candidate. Both slices
+// was applied, the Eq. 2 lower bound aligned per candidate. Tombstoned
+// ids never appear in the result: range queries skip them at record time
+// and the no-fragment fallback skips them while enumerating. Both slices
 // are scratch-backed: valid only until the scratch is reused.
-func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch) (cands []int32, lbs []float64) {
+func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch, tombs *index.Tombstones) (cands []int32, lbs []float64) {
 	n := len(s.db)
 	frags := s.usableFragments(q, sigma, st)
 
 	// Structure-only candidate count, for reporting Yt without a second
 	// pass (the postings are already in memory).
-	st.StructCandidates = len(s.structuralCandidates(frags, sc))
+	st.StructCandidates = len(s.structuralCandidates(frags, sc, tombs))
 
 	if len(frags) == 0 {
-		// No indexed fragment: every graph stays a candidate.
-		sc.bufA = appendAllIDs(sc.bufA[:0], n)
+		// No indexed fragment: every live graph stays a candidate.
+		sc.bufA = appendLiveIDs(sc.bufA[:0], n, tombs)
 		return sc.bufA, nil
 	}
 
@@ -253,7 +324,7 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch)
 	nxt := sc.bufB[:0]
 	for fi, qf := range frags {
 		pl := &lists[fi]
-		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf)
+		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf, tombs)
 		sum := 0.0
 		for _, d := range pl.Dists {
 			sum += d
@@ -370,11 +441,13 @@ func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats) []i
 }
 
 // structuralCandidates intersects the structural postings of the fragments
-// (topoPrune's filter), smallest list first with early exit. The result is
-// scratch-backed. No fragments means no structural information: all ids.
-func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch) []int32 {
+// (topoPrune's filter), smallest list first with early exit, then drops
+// tombstoned ids (the postings keep deleted graphs until compaction). The
+// result is scratch-backed. No fragments means no structural information:
+// all live ids.
+func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch, tombs *index.Tombstones) []int32 {
 	if len(frags) == 0 {
-		sc.bufA = appendAllIDs(sc.bufA[:0], len(s.db))
+		sc.bufA = appendLiveIDs(sc.bufA[:0], len(s.db), tombs)
 		return sc.bufA
 	}
 	// Intersect smallest postings first.
@@ -394,6 +467,15 @@ func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch
 		}
 		nxt = intersectSorted(nxt[:0], cur, frags[i].Class.Postings())
 		cur, nxt = nxt, cur
+	}
+	if tombs != nil {
+		kept := cur[:0]
+		for _, id := range cur {
+			if !tombs.Has(id) {
+				kept = append(kept, id)
+			}
+		}
+		cur = kept
 	}
 	sc.bufA, sc.bufB = cur, nxt
 	return cur
@@ -444,12 +526,21 @@ func (t *lbSorter) Len() int           { return len(t.order) }
 func (t *lbSorter) Less(i, j int) bool { return t.lbs[t.order[i]] < t.lbs[t.order[j]] }
 func (t *lbSorter) Swap(i, j int)      { t.order[i], t.order[j] = t.order[j], t.order[i] }
 
+// candGraph resolves a candidate id against the base database or the
+// view's delta overlay (ids >= len(base) are delta positions).
+func (s *Searcher) candGraph(view View, id int32) *graph.Graph {
+	if int(id) < len(s.db) {
+		return s.db[id]
+	}
+	return view.Delta[int(id)-len(s.db)]
+}
+
 // verify computes the true superimposed distance of every candidate,
 // best-first (ascending partition lower bound) across a worker pool. The
 // answer set is deterministic for any worker count: every candidate is
 // verified against the same fixed budget σ and answers are assembled in
 // ascending id order afterwards.
-func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch) {
+func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch, view View) {
 	if s.opts.SkipVerification {
 		return
 	}
@@ -471,7 +562,7 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 	order := s.verifyOrder(nc, lbs, sc)
 	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
 		j := order[i]
-		dists[j] = v.Distance(s.db[cands[j]], sigma)
+		dists[j] = v.Distance(s.candGraph(view, cands[j]), sigma)
 	})
 	for i, id := range cands {
 		if d := dists[i]; !distance.IsInfinite(d) && d <= sigma {
@@ -486,15 +577,29 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 // candidates best-first across a worker pool sharing a monotonically
 // shrinking radius: once k neighbors are known, the k-th best distance
 // becomes every later verification's branch-and-bound budget, so workers
-// cut each other's search effort. Returns up to k neighbors within sigma,
-// closest first (ties by ascending id). The result is deterministic for
-// any worker count: a candidate skipped by the shared bound is strictly
-// farther than the final k-th neighbor, so it can never displace one.
-func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64) []Neighbor {
+// cut each other's search effort. Live delta graphs join the same pool
+// with a zero lower bound, so they are verified first and their distances
+// shrink the shared radius for the indexed candidates too. Returns up to
+// k neighbors within sigma, closest first (ties by ascending id). The
+// result is deterministic for any worker count: a candidate skipped by
+// the shared bound is strictly farther than the final k-th neighbor, so
+// it can never displace one.
+func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View) []Neighbor {
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	var st Stats
-	cands, lbs := s.filter(q, sigma, &st, sc)
+	cands, lbs := s.filter(q, sigma, &st, sc, view.Tombs)
+	if len(view.Delta) > 0 {
+		nb := len(cands)
+		cands = view.appendLiveDelta(cands, len(s.db))
+		sc.bufA = cands
+		if lbs != nil {
+			for i := nb; i < len(cands); i++ {
+				lbs = append(lbs, 0)
+			}
+			sc.lbs = lbs
+		}
+	}
 	nc := len(cands)
 	best := make([]Neighbor, 0, k)
 	if nc == 0 {
@@ -546,7 +651,7 @@ func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64) []Neighbo
 	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
 		j := order[i]
 		budget := math.Float64frombits(boundBits.Load())
-		if d := v.Distance(s.db[cands[j]], budget); !distance.IsInfinite(d) {
+		if d := v.Distance(s.candGraph(view, cands[j]), budget); !distance.IsInfinite(d) {
 			record(cands[j], d)
 		}
 	})
@@ -633,9 +738,13 @@ func gallopTo(b []int32, j int, x int32) int {
 	return hi
 }
 
-func appendAllIDs(dst []int32, n int) []int32 {
+// appendLiveIDs appends every id in [0, n) not tombstoned (tombs may be
+// nil) to dst.
+func appendLiveIDs(dst []int32, n int, tombs *index.Tombstones) []int32 {
 	for i := 0; i < n; i++ {
-		dst = append(dst, int32(i))
+		if id := int32(i); !tombs.Has(id) {
+			dst = append(dst, id)
+		}
 	}
 	return dst
 }

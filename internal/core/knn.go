@@ -24,6 +24,13 @@ type Neighbor struct {
 // may hold fewer than k entries. startSigma seeds the expansion; pass 0
 // for the metric-agnostic default (1, doubling).
 func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64) []Neighbor {
+	return s.SearchKNNView(q, k, startSigma, maxSigma, View{})
+}
+
+// SearchKNNView is SearchKNN over a mutation snapshot: tombstoned graphs
+// never surface, and live delta graphs compete for the k slots through
+// the same shared shrinking radius as the indexed candidates.
+func (s *Searcher) SearchKNNView(q *graph.Graph, k int, startSigma, maxSigma float64, view View) []Neighbor {
 	if k <= 0 || maxSigma < 0 {
 		return nil
 	}
@@ -41,7 +48,7 @@ func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64
 		sigma = maxSigma
 	}
 	for {
-		ns := s.searchKNNOnce(q, k, sigma)
+		ns := s.searchKNNOnce(q, k, sigma, view)
 		if len(ns) >= k || sigma >= maxSigma {
 			return ns
 		}

@@ -1,8 +1,7 @@
-// Result and Stats merging for sharded search. A sharded database splits
-// the graph list into contiguous slices, runs the PIS pipeline per shard
-// with shard-local graph ids, and stitches the per-shard outcomes back
-// into one Result whose ids are global, in a single pass over the
-// shard-local sorted lists.
+// Result and Stats merging for sharded search. A sharded database runs
+// the PIS pipeline per shard and stitches the per-shard outcomes —
+// already carrying global graph ids — back into one Result by k-way
+// merge over the per-shard sorted lists.
 
 package core
 
@@ -20,14 +19,14 @@ func (s *Stats) Add(o Stats) {
 	s.VerifyTime += o.VerifyTime
 }
 
-// MergeShifted stitches per-shard results carrying shard-local ids into
-// one global Result in a single pass: part i's ids are offset by
-// offsets[i] as they are copied into exactly-sized output slices, so no
-// intermediate per-shard copy (Shifted) is needed. Parts must be ordered
-// by shard and ascending within each part, which keeps the concatenation
-// ascending. Stats are summed. Answers is non-nil in the merge iff it is
-// non-nil in every part (verification ran everywhere).
-func MergeShifted(parts []Result, offsets []int32) Result {
+// MergeGlobal stitches per-shard results that already carry global ids
+// into one Result. Unlike MergeShifted it does not assume shard id
+// ranges are ordered: once a database is mutable, inserts routed to the
+// smallest shard interleave the shards' id ranges, so the per-part
+// sorted lists are k-way merged by id. Parts must be pairwise disjoint
+// and ascending within each part. Stats are summed; Answers is non-nil
+// iff it is non-nil in every part.
+func MergeGlobal(parts []Result) Result {
 	var out Result
 	answered := true
 	nAns, nCand := 0, 0
@@ -43,17 +42,44 @@ func MergeShifted(parts []Result, offsets []int32) Result {
 		out.Distances = make([]float64, 0, nAns)
 	}
 	out.Candidates = make([]int32, 0, nCand)
-	for i, p := range parts {
-		delta := offsets[i]
-		if answered {
-			for _, id := range p.Answers {
-				out.Answers = append(out.Answers, id+delta)
+	if answered {
+		cur := make([]int, len(parts))
+		for {
+			best := -1
+			var bestID int32
+			for i, p := range parts {
+				if cur[i] < len(p.Answers) {
+					if id := p.Answers[cur[i]]; best < 0 || id < bestID {
+						best, bestID = i, id
+					}
+				}
 			}
-			out.Distances = append(out.Distances, p.Distances...)
+			if best < 0 {
+				break
+			}
+			out.Answers = append(out.Answers, bestID)
+			out.Distances = append(out.Distances, parts[best].Distances[cur[best]])
+			cur[best]++
 		}
-		for _, id := range p.Candidates {
-			out.Candidates = append(out.Candidates, id+delta)
+	}
+	cur := make([]int, len(parts))
+	for {
+		best := -1
+		var bestID int32
+		for i, p := range parts {
+			if cur[i] < len(p.Candidates) {
+				if id := p.Candidates[cur[i]]; best < 0 || id < bestID {
+					best, bestID = i, id
+				}
+			}
 		}
+		if best < 0 {
+			break
+		}
+		out.Candidates = append(out.Candidates, bestID)
+		cur[best]++
+	}
+	for _, p := range parts {
 		out.Stats.Add(p.Stats)
 	}
 	return out

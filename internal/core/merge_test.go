@@ -22,14 +22,14 @@ func TestStatsAdd(t *testing.T) {
 	}
 }
 
-func TestMergeShifted(t *testing.T) {
+func TestMergeGlobal(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{0, 1}, Distances: []float64{0, 1}, Candidates: []int32{0, 1, 2},
 			Stats: Stats{Verified: 3}},
-		{Answers: []int32{2}, Distances: []float64{2}, Candidates: []int32{2},
+		{Answers: []int32{7}, Distances: []float64{2}, Candidates: []int32{7},
 			Stats: Stats{Verified: 1}},
 	}
-	m := MergeShifted(parts, []int32{0, 5})
+	m := MergeGlobal(parts)
 	if got, want := m.Answers, []int32{0, 1, 7}; !reflect.DeepEqual(got, want) {
 		t.Errorf("Answers: got %v, want %v", got, want)
 	}
@@ -42,31 +42,50 @@ func TestMergeShifted(t *testing.T) {
 	if m.Stats.Verified != 4 {
 		t.Errorf("Stats.Verified: got %d, want 4", m.Stats.Verified)
 	}
-	// The shift must copy, never mutate the per-shard inputs.
-	if got, want := parts[1].Answers, []int32{2}; !reflect.DeepEqual(got, want) {
-		t.Errorf("MergeShifted mutated its input: %v", parts[1].Answers)
-	}
-	if got, want := parts[1].Candidates, []int32{2}; !reflect.DeepEqual(got, want) {
-		t.Errorf("MergeShifted mutated its input: %v", parts[1].Candidates)
+	// The merge must copy, never mutate the per-shard inputs.
+	if got, want := parts[1].Answers, []int32{7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeGlobal mutated its input: %v", parts[1].Answers)
 	}
 }
 
-func TestMergeShiftedUnverifiedPart(t *testing.T) {
+// TestMergeGlobalInterleaved: once a database is mutable, shard id
+// ranges interleave (inserts route to the smallest shard), and the merge
+// must still produce one globally ascending result with distances
+// following their answers.
+func TestMergeGlobalInterleaved(t *testing.T) {
+	parts := []Result{
+		{Answers: []int32{0, 9, 12}, Distances: []float64{0.5, 9.5, 12.5}, Candidates: []int32{0, 9, 12, 14}},
+		{Answers: []int32{3, 10}, Distances: []float64{3.5, 10.5}, Candidates: []int32{3, 10}},
+		{Answers: []int32{}, Distances: []float64{}, Candidates: []int32{6}},
+	}
+	m := MergeGlobal(parts)
+	if got, want := m.Answers, []int32{0, 3, 9, 10, 12}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Answers: got %v, want %v", got, want)
+	}
+	if got, want := m.Distances, []float64{0.5, 3.5, 9.5, 10.5, 12.5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Distances: got %v, want %v", got, want)
+	}
+	if got, want := m.Candidates, []int32{0, 3, 6, 9, 10, 12, 14}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Candidates: got %v, want %v", got, want)
+	}
+}
+
+func TestMergeGlobalUnverifiedPart(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{0}, Distances: []float64{0}, Candidates: []int32{0}},
-		{Candidates: []int32{1}}, // verification skipped in this part
+		{Candidates: []int32{4}}, // verification skipped in this part
 	}
-	if m := MergeShifted(parts, []int32{0, 3}); m.Answers != nil {
+	if m := MergeGlobal(parts); m.Answers != nil {
 		t.Fatalf("merge with an unverified part should have nil Answers, got %v", m.Answers)
 	}
 }
 
-func TestMergeShiftedEmptyAnswerSets(t *testing.T) {
+func TestMergeGlobalEmptyAnswerSets(t *testing.T) {
 	parts := []Result{
 		{Answers: []int32{}, Candidates: []int32{}},
 		{Answers: []int32{}, Candidates: []int32{}},
 	}
-	m := MergeShifted(parts, []int32{0, 1})
+	m := MergeGlobal(parts)
 	if m.Answers == nil || len(m.Answers) != 0 {
 		t.Fatalf("want non-nil empty Answers, got %v", m.Answers)
 	}

@@ -474,14 +474,19 @@ func (rb *RangeBuffer) begin(n int) {
 // reusable buffers: after the call pl holds the in-range graph ids
 // ascending with the minimum fragment distance over every superposition
 // aligned per id (Eq. 3 of the paper). Graphs without any in-range
-// fragment are absent. A steady-state call allocates nothing beyond
-// buffer growth.
-func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList, rb *RangeBuffer) {
+// fragment are absent, and so is every id in tombs (nil = none): the
+// per-class structures keep deleted graphs until compaction, so the
+// range query is where they stop existing. A steady-state call allocates
+// nothing beyond buffer growth.
+func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList, rb *RangeBuffer, tombs *Tombstones) {
 	c := qf.Class
 	pl.IDs = pl.IDs[:0]
 	pl.Dists = pl.Dists[:0]
 	rb.begin(x.dbSize)
 	record := func(id int32, d float64) {
+		if tombs.Has(id) {
+			return
+		}
 		if rb.stamp[id] != rb.epoch {
 			rb.stamp[id] = rb.epoch
 			rb.dense[id] = d
@@ -564,7 +569,7 @@ func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList,
 func (x *Index) RangeQuery(qf QueryFragment, sigma float64) map[int32]float64 {
 	var pl PostingList
 	var rb RangeBuffer
-	x.RangeQueryInto(qf, sigma, &pl, &rb)
+	x.RangeQueryInto(qf, sigma, &pl, &rb, nil)
 	out := make(map[int32]float64, len(pl.IDs))
 	for i, id := range pl.IDs {
 		out[id] = pl.Dists[i]

@@ -1,0 +1,53 @@
+package index
+
+import "testing"
+
+func TestTombstonesNilSafe(t *testing.T) {
+	var ts *Tombstones
+	if ts.Has(0) || ts.Has(12345) {
+		t.Error("nil set must contain nothing")
+	}
+	if ts.Count() != 0 {
+		t.Error("nil set count != 0")
+	}
+}
+
+func TestTombstonesCopyOnWrite(t *testing.T) {
+	var ts *Tombstones
+	a := ts.WithSet(5)
+	b := a.WithSet(200) // forces growth past the first word
+	c := b.WithSet(5)   // already set: count unchanged
+	if ts.Has(5) {
+		t.Error("WithSet mutated the nil receiver")
+	}
+	if !a.Has(5) || a.Has(200) || a.Count() != 1 {
+		t.Errorf("a: has5=%v has200=%v count=%d", a.Has(5), a.Has(200), a.Count())
+	}
+	if !b.Has(5) || !b.Has(200) || b.Count() != 2 {
+		t.Errorf("b: has5=%v has200=%v count=%d", b.Has(5), b.Has(200), b.Count())
+	}
+	if c.Count() != 2 {
+		t.Errorf("re-setting a set bit changed count: %d", c.Count())
+	}
+	// Snapshots survive later writes: a still sees only 5.
+	if a.Has(200) {
+		t.Error("later WithSet leaked into the earlier snapshot")
+	}
+}
+
+func TestTombstonesAllSet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		ts := AllSet(n)
+		if ts.Count() != n {
+			t.Errorf("AllSet(%d).Count() = %d", n, ts.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !ts.Has(int32(i)) {
+				t.Errorf("AllSet(%d) missing %d", n, i)
+			}
+		}
+		if ts.Has(int32(n)) || ts.Has(int32(n+7)) {
+			t.Errorf("AllSet(%d) contains ids >= n", n)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package segment implements the mutable unit of a live PIS database: an
+// immutable indexed base plus an append-only delta of newly inserted
+// graphs and a copy-on-write tombstone set of deleted ones.
+//
+// The design keeps the paper's pruning guarantees intact per segment. The
+// base is exactly a classic PIS index — mined features, per-class range
+// structures, partition pruning — over a frozen graph slice; the delta is
+// unindexed and searched by direct verification (the naive path), which
+// is cheap while the delta stays a bounded fraction of the base; deletes
+// only ever hide ids from read paths. Compact folds delta and tombstones
+// into a freshly mined and built base, automatically once the delta
+// outgrows Config.CompactFraction of the base.
+//
+// Every graph carries a stable global id assigned at insertion by the
+// owner (pis.Database or shard.DB) and never reused: searches translate
+// segment-local ids to global ids on the way out, so clients can hold on
+// to ids across compactions. Reads take a consistent snapshot (searcher,
+// delta, tombstones) under a short lock and then run lock-free, giving
+// per-request snapshot semantics under concurrent mutation.
+package segment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"pis/internal/core"
+	"pis/internal/graph"
+	"pis/internal/index"
+	"pis/internal/mining"
+)
+
+// Config carries everything a segment needs to (re)build its index.
+type Config struct {
+	// Mining configures feature mining over the segment's base slice.
+	Mining mining.Options
+	// Index configures the per-class index (kind + metric).
+	Index index.Options
+	// Core tunes the fan-out searcher (Search/SearchBatch); a sharded
+	// owner divides verification workers across segments here.
+	Core core.Options
+	// KNNCore tunes the sequential kNN searcher, which may use the full
+	// verification budget because only one segment runs at a time.
+	KNNCore core.Options
+	// IndexWorkers is the index.BuildParallel worker count (0 = GOMAXPROCS).
+	IndexWorkers int
+	// CompactFraction triggers automatic compaction when
+	// len(delta) > CompactFraction * len(base). <= 0 disables the trigger;
+	// Compact can still be called explicitly.
+	CompactFraction float64
+}
+
+// Segment is one mutable database slice. All methods are safe for
+// concurrent use.
+type Segment struct {
+	cfg Config
+
+	mu sync.RWMutex
+	// base is the indexed graph slice; ids[i] is base[i]'s global id,
+	// strictly ascending. Both are replaced wholesale on compaction,
+	// never mutated in place.
+	base []*graph.Graph
+	ids  []int32
+	idx  *index.Index
+	srch *core.Searcher
+	knn  *core.Searcher
+	// delta holds inserted, not-yet-indexed graphs; deltaIDs aligns,
+	// strictly ascending and greater than every id in ids (global ids are
+	// assigned monotonically). Both are append-only between compactions.
+	delta    []*graph.Graph
+	deltaIDs []int32
+	// tombs marks deleted local ids (base positions, then len(base)+delta
+	// positions); copy-on-write so snapshots stay consistent.
+	tombs *index.Tombstones
+}
+
+// New mines features over graphs and builds an indexed segment whose
+// global ids are startID, startID+1, ....
+func New(graphs []*graph.Graph, startID int32, cfg Config) (*Segment, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("segment: empty graph slice")
+	}
+	base, idx, err := build(graphs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromIndex(base, sequentialIDs(startID, len(graphs)), idx, cfg), nil
+}
+
+// FromIndex wraps a pre-built index (for example one loaded from disk)
+// over graphs with global ids startID, startID+1, .... The index must
+// have been built over exactly these graphs in this order.
+func FromIndex(graphs []*graph.Graph, startID int32, idx *index.Index, cfg Config) (*Segment, error) {
+	if idx.DBSize() != len(graphs) {
+		return nil, fmt.Errorf("segment: index covers %d graphs, slice has %d", idx.DBSize(), len(graphs))
+	}
+	return fromIndex(graphs, sequentialIDs(startID, len(graphs)), idx, cfg), nil
+}
+
+func sequentialIDs(start int32, n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = start + int32(i)
+	}
+	return ids
+}
+
+func build(graphs []*graph.Graph, cfg Config) ([]*graph.Graph, *index.Index, error) {
+	feats, err := mining.Mine(graphs, cfg.Mining)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mining features: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, nil, fmt.Errorf("no features met the support threshold; lower MinSupportFraction")
+	}
+	idx, err := index.BuildParallel(graphs, feats, cfg.Index, cfg.IndexWorkers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("building index: %w", err)
+	}
+	return graphs, idx, nil
+}
+
+func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) *Segment {
+	return &Segment{
+		cfg:  cfg,
+		base: base,
+		ids:  ids,
+		idx:  idx,
+		srch: core.NewSearcher(base, idx, cfg.Core),
+		knn:  core.NewSearcher(base, idx, cfg.KNNCore),
+	}
+}
+
+// snapshot is one consistent read view: taken under RLock, used lock-free.
+type snapshot struct {
+	srch, knn *core.Searcher
+	ids       []int32
+	deltaIDs  []int32
+	view      core.View
+}
+
+func (s *Segment) snapshot() snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return snapshot{
+		srch:     s.srch,
+		knn:      s.knn,
+		ids:      s.ids,
+		deltaIDs: s.deltaIDs,
+		view:     core.View{Tombs: s.tombs, Delta: s.delta},
+	}
+}
+
+// global translates a segment-local id to the stable global id.
+func (sn *snapshot) global(local int32) int32 {
+	if n := len(sn.ids); int(local) >= n {
+		return sn.deltaIDs[int(local)-n]
+	}
+	return sn.ids[local]
+}
+
+// remap rewrites a result's local ids to global ids in place. Both ids
+// and deltaIDs are ascending and every delta id exceeds every base id,
+// so ascending local order maps to ascending global order.
+func (sn *snapshot) remap(r *core.Result) {
+	for i, id := range r.Answers {
+		r.Answers[i] = sn.global(id)
+	}
+	for i, id := range r.Candidates {
+		r.Candidates[i] = sn.global(id)
+	}
+}
+
+// Search answers the SSSD query over the segment's current live graphs;
+// result ids are global.
+func (s *Segment) Search(q *graph.Graph, sigma float64) core.Result {
+	sn := s.snapshot()
+	r := sn.srch.SearchView(q, sigma, sn.view)
+	sn.remap(&r)
+	return r
+}
+
+// SearchNaive verifies every live graph (the reference answer).
+func (s *Segment) SearchNaive(q *graph.Graph, sigma float64) core.Result {
+	sn := s.snapshot()
+	r := sn.srch.SearchNaiveView(q, sigma, sn.view)
+	sn.remap(&r)
+	return r
+}
+
+// SearchTopoPrune answers with structure-only filtering plus verification.
+func (s *Segment) SearchTopoPrune(q *graph.Graph, sigma float64) core.Result {
+	sn := s.snapshot()
+	r := sn.srch.SearchTopoPruneView(q, sigma, sn.view)
+	sn.remap(&r)
+	return r
+}
+
+// SearchKNN returns up to k nearest live graphs with global ids, closest
+// first (ties by ascending global id), searching no farther than
+// maxSigma; startSigma seeds the threshold expansion (0 = default).
+func (s *Segment) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64) []core.Neighbor {
+	sn := s.snapshot()
+	ns := sn.knn.SearchKNNView(q, k, startSigma, maxSigma, sn.view)
+	for i := range ns {
+		ns[i].ID = sn.global(ns[i].ID)
+	}
+	return ns
+}
+
+// Insert appends g to the delta under the caller-assigned global id,
+// which must exceed every id previously given to this segment. The
+// append is O(1); Insert reports whether the delta has outgrown
+// CompactFraction of the base, in which case the caller should run
+// Compact — outside whatever lock serialized its id assignment, so a
+// rebuild never stalls inserts to other segments.
+func (s *Segment) Insert(g *graph.Graph, id int32) (needsCompact bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delta = append(s.delta, g)
+	s.deltaIDs = append(s.deltaIDs, id)
+	f := s.cfg.CompactFraction
+	return f > 0 && float64(len(s.delta)) > f*float64(len(s.base))
+}
+
+// Delete tombstones the graph with the given global id. It reports
+// whether the id was present and live.
+func (s *Segment) Delete(id int32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	local, ok := s.localOf(id)
+	if !ok || s.tombs.Has(local) {
+		return false
+	}
+	s.tombs = s.tombs.WithSet(local)
+	return true
+}
+
+// localOf resolves a global id to the segment-local id, by binary search
+// over the two ascending id slices.
+func (s *Segment) localOf(id int32) (int32, bool) {
+	if i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id }); i < len(s.ids) && s.ids[i] == id {
+		return int32(i), true
+	}
+	if i := sort.Search(len(s.deltaIDs), func(i int) bool { return s.deltaIDs[i] >= id }); i < len(s.deltaIDs) && s.deltaIDs[i] == id {
+		return int32(len(s.base) + i), true
+	}
+	return 0, false
+}
+
+// Compact folds the delta and tombstones into a freshly mined and built
+// index over the surviving graphs. On error the segment is unchanged and
+// still serves correctly. Compacting an unmutated segment is a no-op.
+func (s *Segment) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Segment) compactLocked() error {
+	if len(s.delta) == 0 && s.tombs.Count() == 0 {
+		return nil
+	}
+	survivors := make([]*graph.Graph, 0, len(s.base)+len(s.delta)-s.tombs.Count())
+	ids := make([]int32, 0, cap(survivors))
+	for i, g := range s.base {
+		if !s.tombs.Has(int32(i)) {
+			survivors = append(survivors, g)
+			ids = append(ids, s.ids[i])
+		}
+	}
+	for i, g := range s.delta {
+		if !s.tombs.Has(int32(len(s.base) + i)) {
+			survivors = append(survivors, g)
+			ids = append(ids, s.deltaIDs[i])
+		}
+	}
+	if len(survivors) == 0 {
+		// Nothing lives: keep the old index (a rebuild over zero graphs is
+		// impossible) and tombstone the whole base, dropping the delta.
+		s.tombs = index.AllSet(len(s.base))
+		s.delta, s.deltaIDs = nil, nil
+		return nil
+	}
+	base, idx, err := build(survivors, s.cfg)
+	if err != nil {
+		return fmt.Errorf("segment: compacting %d graphs: %w", len(survivors), err)
+	}
+	s.base, s.ids, s.idx = base, ids, idx
+	s.srch = core.NewSearcher(base, idx, s.cfg.Core)
+	s.knn = core.NewSearcher(base, idx, s.cfg.KNNCore)
+	s.delta, s.deltaIDs, s.tombs = nil, nil, nil
+	return nil
+}
+
+// Live returns the number of live (non-tombstoned) graphs.
+func (s *Segment) Live() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.base) + len(s.delta) - s.tombs.Count()
+}
+
+// DeltaLen returns the number of unindexed delta graphs (including
+// tombstoned ones; they vanish at the next compaction).
+func (s *Segment) DeltaLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.delta)
+}
+
+// Tombstoned returns the number of deleted-but-not-compacted graphs.
+func (s *Segment) Tombstoned() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tombs.Count()
+}
+
+// Graph returns the live graph with the given global id, or nil.
+func (s *Segment) Graph(id int32) *graph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	local, ok := s.localOf(id)
+	if !ok || s.tombs.Has(local) {
+		return nil
+	}
+	if int(local) < len(s.base) {
+		return s.base[local]
+	}
+	return s.delta[int(local)-len(s.base)]
+}
+
+// AppendLiveIDs appends the global ids of every live graph, ascending,
+// to dst.
+func (s *Segment) AppendLiveIDs(dst []int32) []int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, id := range s.ids {
+		if !s.tombs.Has(int32(i)) {
+			dst = append(dst, id)
+		}
+	}
+	for i, id := range s.deltaIDs {
+		if !s.tombs.Has(int32(len(s.base) + i)) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// IndexStats returns the base index counters.
+func (s *Segment) IndexStats() index.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Stats()
+}
+
+// SaveIndex serializes the base index (delta and tombstones are
+// in-memory only; compact first to capture them).
+func (s *Segment) SaveIndex(w io.Writer) error {
+	s.mu.RLock()
+	idx := s.idx
+	s.mu.RUnlock()
+	return idx.Save(w)
+}

@@ -1,13 +1,21 @@
 // Package shard runs the PIS pipeline over a horizontally partitioned
-// graph database. The database is split into contiguous shards, each with
-// its own mined feature set and fragment index; a query fans out to every
-// shard and the per-shard results are stitched back together with global
-// graph ids.
+// graph database. The database is split into contiguous shards, each a
+// mutable segment with its own mined feature set and fragment index; a
+// query fans out to every shard and the per-shard results are stitched
+// back together with global graph ids.
 //
 // Because PIS verification is exact, per-shard feature sets may differ
 // (each shard mines on its own slice) without changing the answer set:
 // filtering quality varies, answers do not. That is what makes the
-// fan-out embarrassingly parallel and the merge a pure concatenation.
+// fan-out embarrassingly parallel and the merge a pure k-way interleave.
+//
+// The database is mutable while serving. Inserts are routed to the shard
+// with the fewest live graphs (keeping shards balanced as the database
+// grows), where they land in that shard's delta segment; deletes
+// tombstone the owning shard; Compact folds every shard's delta and
+// tombstones into fresh per-shard indexes in parallel. Graph ids are
+// global, assigned once at insertion, and never reused, so they stay
+// stable across compactions.
 //
 // kNN merges across shards with a shrinking radius: once k neighbors are
 // in hand, no later shard is searched beyond the current k-th best
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -27,6 +36,7 @@ import (
 	"pis/internal/graph"
 	"pis/internal/index"
 	"pis/internal/mining"
+	"pis/internal/segment"
 )
 
 // Config carries the per-shard build parameters. The caller (pis.NewSharded)
@@ -42,6 +52,26 @@ type Config struct {
 	// IndexWorkers is the BuildParallel worker count within one shard
 	// (0 = GOMAXPROCS, 1 = serial).
 	IndexWorkers int
+	// CompactFraction triggers automatic per-shard compaction when a
+	// shard's delta outgrows this fraction of its indexed base (<= 0
+	// disables the trigger).
+	CompactFraction float64
+}
+
+// segmentConfig translates the shard config for one of nShards segments:
+// the fan-out searcher divides default verification parallelism across
+// shards, the sequential kNN searcher keeps the full budget.
+func (cfg Config) segmentConfig(nShards int) segment.Config {
+	fanout := cfg.Core
+	fanout.VerifyWorkers = divideVerifyWorkers(cfg.Core.VerifyWorkers, nShards)
+	return segment.Config{
+		Mining:          cfg.Mining,
+		Index:           cfg.Index,
+		Core:            fanout,
+		KNNCore:         cfg.Core,
+		IndexWorkers:    cfg.IndexWorkers,
+		CompactFraction: cfg.CompactFraction,
+	}
 }
 
 // Range is one contiguous shard slice [Start, End) of the database.
@@ -86,37 +116,12 @@ func divideVerifyWorkers(w, nShards int) int {
 	return w
 }
 
-// Shard is one database slice with its own index and searchers. Graph ids
-// inside the searchers are shard-local; Start translates them to global
-// ids. Searcher serves the concurrent fan-out (Search/SearchBatch) with
-// verification parallelism divided across shards; KNNSearcher serves the
-// sequential shrinking-radius kNN walk, where only one shard runs at a
-// time and may use the full budget.
-type Shard struct {
-	Start       int32
-	Graphs      []*graph.Graph
-	Index       *index.Index
-	Searcher    *core.Searcher
-	KNNSearcher *core.Searcher
-}
-
-// newShard builds both searchers over one slice + index pair.
-func newShard(slice []*graph.Graph, start int, idx *index.Index, copts core.Options, nShards int) *Shard {
-	fanout := copts
-	fanout.VerifyWorkers = divideVerifyWorkers(copts.VerifyWorkers, nShards)
-	return &Shard{
-		Start:       int32(start),
-		Graphs:      slice,
-		Index:       idx,
-		Searcher:    core.NewSearcher(slice, idx, fanout),
-		KNNSearcher: core.NewSearcher(slice, idx, copts),
-	}
-}
-
-// DB is a sharded PIS database.
+// DB is a sharded, mutable PIS database.
 type DB struct {
-	graphs []*graph.Graph
-	shards []*Shard
+	segs []*segment.Segment
+
+	mu     sync.Mutex // serializes id assignment + insert routing
+	nextID int32
 }
 
 // New splits graphs into nShards contiguous shards and builds every
@@ -130,14 +135,15 @@ func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("shard: nShards must be >= 1, got %d", nShards)
 	}
 	ranges := Split(len(graphs), nShards)
-	shards := make([]*Shard, len(ranges))
+	scfg := cfg.segmentConfig(len(ranges))
+	segs := make([]*segment.Segment, len(ranges))
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
 	for i, rg := range ranges {
 		wg.Add(1)
 		go func(i int, rg Range) {
 			defer wg.Done()
-			shards[i], errs[i] = buildShard(graphs[rg.Start:rg.End], rg.Start, cfg, len(ranges))
+			segs[i], errs[i] = segment.New(graphs[rg.Start:rg.End], int32(rg.Start), scfg)
 		}(i, rg)
 	}
 	wg.Wait()
@@ -146,22 +152,7 @@ func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("shard %d [%d,%d): %w", i, ranges[i].Start, ranges[i].End, err)
 		}
 	}
-	return &DB{graphs: graphs, shards: shards}, nil
-}
-
-func buildShard(slice []*graph.Graph, start int, cfg Config, nShards int) (*Shard, error) {
-	feats, err := mining.Mine(slice, cfg.Mining)
-	if err != nil {
-		return nil, fmt.Errorf("mining features: %w", err)
-	}
-	if len(feats) == 0 {
-		return nil, fmt.Errorf("no features met the support threshold; lower MinSupportFraction or use fewer shards")
-	}
-	idx, err := index.BuildParallel(slice, feats, cfg.Index, cfg.IndexWorkers)
-	if err != nil {
-		return nil, fmt.Errorf("building index: %w", err)
-	}
-	return newShard(slice, start, idx, cfg.Core, nShards), nil
+	return &DB{segs: segs, nextID: int32(len(graphs))}, nil
 }
 
 // Load reconstructs a sharded database from one index stream per shard,
@@ -169,6 +160,12 @@ func buildShard(slice []*graph.Graph, start int, cfg Config, nShards int) (*Shar
 // Split(len(graphs), len(readers)) and each stream's recorded size must
 // match its slice, so a mismatched database or shard count fails loudly.
 func Load(graphs []*graph.Graph, readers []io.Reader, metric distance.Metric, copts core.Options) (*DB, error) {
+	return LoadConfig(graphs, readers, Config{Index: index.Options{Metric: metric}, Core: copts})
+}
+
+// LoadConfig is Load with the full shard configuration, so a loaded
+// database keeps its mining options for later compactions.
+func LoadConfig(graphs []*graph.Graph, readers []io.Reader, cfg Config) (*DB, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("shard: empty database")
 	}
@@ -179,64 +176,143 @@ func Load(graphs []*graph.Graph, readers []io.Reader, metric distance.Metric, co
 		return nil, fmt.Errorf("shard: %d index streams for %d graphs", len(readers), len(graphs))
 	}
 	ranges := Split(len(graphs), len(readers))
-	shards := make([]*Shard, len(ranges))
+	scfg := cfg.segmentConfig(len(ranges))
+	segs := make([]*segment.Segment, len(ranges))
 	for i, rg := range ranges {
-		idx, err := index.Load(readers[i], metric)
+		idx, err := index.Load(readers[i], cfg.Index.Metric)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		if idx.DBSize() != rg.End-rg.Start {
-			return nil, fmt.Errorf("shard %d: index covers %d graphs, slice has %d",
-				i, idx.DBSize(), rg.End-rg.Start)
+		seg, err := segment.FromIndex(graphs[rg.Start:rg.End], int32(rg.Start), idx, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		shards[i] = newShard(graphs[rg.Start:rg.End], rg.Start, idx, copts, len(ranges))
+		segs[i] = seg
 	}
-	return &DB{graphs: graphs, shards: shards}, nil
+	return &DB{segs: segs, nextID: int32(len(graphs))}, nil
 }
 
-// SaveShard writes shard i's index to w; Load restores a database from the
-// streams of all shards in order.
+// SaveShard writes shard i's base index to w; Load restores a database
+// from the streams of all shards in order. Deltas and tombstones are not
+// serialized — Compact first to fold them into the base.
 func (d *DB) SaveShard(i int, w io.Writer) error {
-	if i < 0 || i >= len(d.shards) {
-		return fmt.Errorf("shard: no shard %d (have %d)", i, len(d.shards))
+	if i < 0 || i >= len(d.segs) {
+		return fmt.Errorf("shard: no shard %d (have %d)", i, len(d.segs))
 	}
-	return d.shards[i].Index.Save(w)
+	return d.segs[i].SaveIndex(w)
 }
 
 // NumShards returns the shard count.
-func (d *DB) NumShards() int { return len(d.shards) }
+func (d *DB) NumShards() int { return len(d.segs) }
 
-// Len returns the total number of graphs.
-func (d *DB) Len() int { return len(d.graphs) }
+// Len returns the number of live graphs.
+func (d *DB) Len() int {
+	n := 0
+	for _, seg := range d.segs {
+		n += seg.Live()
+	}
+	return n
+}
 
-// Graph returns the graph with the given global id.
-func (d *DB) Graph(id int32) *graph.Graph { return d.graphs[id] }
+// Graph returns the live graph with the given global id, or nil.
+func (d *DB) Graph(id int32) *graph.Graph {
+	for _, seg := range d.segs {
+		if g := seg.Graph(id); g != nil {
+			return g
+		}
+	}
+	return nil
+}
 
-// Search fans the query out to every shard concurrently and merges the
-// per-shard results into one Result with global ids. The answer set is
-// identical to an unsharded search over the same graphs. The merge
-// consumes the shard-local sorted id lists directly — per-shard results
-// are shifted as they are copied into the final slices, not re-allocated
-// shard by shard.
-func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
-	parts := make([]core.Result, len(d.shards))
-	offsets := make([]int32, len(d.shards))
+// Insert appends g to the shard with the fewest live graphs and returns
+// its stable global id. A non-nil error reports a failed automatic
+// compaction; the graph is inserted and searchable either way.
+func (d *DB) Insert(g *graph.Graph) (int32, error) {
+	d.mu.Lock()
+	best := 0
+	for i := 1; i < len(d.segs); i++ {
+		if d.segs[i].Live() < d.segs[best].Live() {
+			best = i
+		}
+	}
+	id := d.nextID
+	d.nextID++
+	// The O(1) delta append runs under d.mu so per-segment delta ids stay
+	// ascending even when inserts race: id order and append order agree.
+	needsCompact := d.segs[best].Insert(g, id)
+	d.mu.Unlock()
+	if needsCompact {
+		// Rebuild outside d.mu: a long re-mine on one shard must not stall
+		// inserts routed to the others.
+		return id, d.segs[best].Compact()
+	}
+	return id, nil
+}
+
+// Delete tombstones the graph with the given global id, reporting
+// whether it was present and live.
+func (d *DB) Delete(id int32) bool {
+	for _, seg := range d.segs {
+		if seg.Delete(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compact folds every shard's delta and tombstones into fresh per-shard
+// indexes, in parallel. The first error is returned; failed shards keep
+// serving their pre-compaction state.
+func (d *DB) Compact() error {
+	errs := make([]error, len(d.segs))
 	var wg sync.WaitGroup
-	for i, sh := range d.shards {
-		offsets[i] = sh.Start
+	for i, seg := range d.segs {
 		wg.Add(1)
-		go func(i int, sh *Shard) {
+		go func(i int, seg *segment.Segment) {
 			defer wg.Done()
-			parts[i] = sh.Searcher.Search(q, sigma)
-		}(i, sh)
+			errs[i] = seg.Compact()
+		}(i, seg)
 	}
 	wg.Wait()
-	return core.MergeShifted(parts, offsets)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LiveIDs returns the global ids of every live graph, ascending.
+func (d *DB) LiveIDs() []int32 {
+	var ids []int32
+	for _, seg := range d.segs {
+		ids = seg.AppendLiveIDs(ids)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// Search fans the query out to every shard concurrently and merges the
+// per-shard results into one Result. Ids are global and stable; the
+// answer set equals an unsharded search over the same live graphs.
+func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
+	parts := make([]core.Result, len(d.segs))
+	var wg sync.WaitGroup
+	for i, seg := range d.segs {
+		wg.Add(1)
+		go func(i int, seg *segment.Segment) {
+			defer wg.Done()
+			parts[i] = seg.Search(q, sigma)
+		}(i, seg)
+	}
+	wg.Wait()
+	return core.MergeGlobal(parts)
 }
 
 // SearchBatch answers many queries, each fanning out across all shards,
 // with at most workers queries in flight at once (0 = GOMAXPROCS, the
-// same default as the unsharded batch).
+// same default as the unsharded batch). Each query snapshots the
+// database independently.
 func (d *DB) SearchBatch(queries []*graph.Graph, sigma float64, workers int) []core.Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -257,28 +333,27 @@ func (d *DB) SearchBatch(queries []*graph.Graph, sigma float64, workers int) []c
 	return out
 }
 
-// SearchKNN returns the k nearest graphs under the superimposed distance,
-// closest first (ties by ascending global id), searching no farther than
-// maxSigma. Shards are visited in order with a shrinking radius: once k
-// neighbors are known, shard i+1 is searched no farther than the current
-// k-th best distance, and that radius is also used to seed the shard's
-// threshold expansion so the pass is a single range query.
+// SearchKNN returns the k nearest live graphs under the superimposed
+// distance, closest first (ties by ascending global id), searching no
+// farther than maxSigma. Shards are visited in order with a shrinking
+// radius: once k neighbors are known, shard i+1 is searched no farther
+// than the current k-th best distance, and that radius is also used to
+// seed the shard's threshold expansion so the pass is a single range
+// query.
 func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor {
 	if k <= 0 || maxSigma < 0 {
 		return nil
 	}
 	radius := maxSigma
 	var best []core.Neighbor
-	for _, sh := range d.shards {
+	for _, seg := range d.segs {
 		start := 0.0
 		if len(best) >= k {
 			// Radius already tight: one pass at exactly the bound suffices.
 			start = radius
 		}
-		ns := sh.KNNSearcher.SearchKNN(q, k, start, radius)
-		for _, n := range ns {
-			best = append(best, core.Neighbor{ID: n.ID + sh.Start, Distance: n.Distance})
-		}
+		ns := seg.SearchKNN(q, k, start, radius)
+		best = append(best, ns...)
 		sort.SliceStable(best, func(i, j int) bool {
 			if best[i].Distance != best[j].Distance {
 				return best[i].Distance < best[j].Distance
@@ -295,14 +370,25 @@ func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor 
 	return best
 }
 
-// Stats sums the per-shard index counters.
+// Stats sums the per-shard base index counters.
 func (d *DB) Stats() index.Stats {
 	var total index.Stats
-	for _, sh := range d.shards {
-		s := sh.Index.Stats()
+	for _, seg := range d.segs {
+		s := seg.IndexStats()
 		total.Classes += s.Classes
 		total.Fragments += s.Fragments
 		total.Sequences += s.Sequences
+		total.Postings += s.Postings
 	}
 	return total
+}
+
+// Overlay reports the mutation overlay size summed across shards: delta
+// graphs awaiting indexing and tombstoned graphs awaiting compaction.
+func (d *DB) Overlay() (delta, tombstones int) {
+	for _, seg := range d.segs {
+		delta += seg.DeltaLen()
+		tombstones += seg.Tombstoned()
+	}
+	return delta, tombstones
 }

@@ -36,6 +36,7 @@ import (
 	"pis/internal/graph"
 	"pis/internal/index"
 	"pis/internal/mining"
+	"pis/internal/segment"
 	"pis/internal/shard"
 )
 
@@ -124,6 +125,14 @@ type Options struct {
 	PartitionK           int
 	MaxFragmentsPerQuery int
 
+	// CompactFraction tunes the live-mutation compaction policy: after an
+	// Insert, when the unindexed delta holds more than CompactFraction
+	// times the indexed graph count (per shard for a Sharded database),
+	// the delta and any tombstones are folded into a freshly built index.
+	// 0 means the default 0.25; a negative value disables automatic
+	// compaction (Compact can still be called explicitly).
+	CompactFraction float64
+
 	// BuildWorkers parallelizes index construction across goroutines
 	// (0 = GOMAXPROCS, 1 = serial). The index is identical either way.
 	BuildWorkers int
@@ -136,12 +145,19 @@ type Options struct {
 	UseGSpan bool
 }
 
-// Database is an indexed graph database answering SSSD queries.
+// Database is an indexed graph database answering SSSD queries. It is
+// mutable while serving: Insert appends graphs to an unindexed delta
+// segment, Delete tombstones graphs, and Compact (automatic by default,
+// see Options.CompactFraction) folds both into a freshly built index.
+// Graph ids are assigned once — input order at construction, then one
+// new id per Insert — and are never reused or renumbered, so they stay
+// stable across compactions. Every query runs against a consistent
+// snapshot taken when it starts (per-request snapshot semantics).
 type Database struct {
-	graphs   []*Graph
-	features []mining.Feature
-	index    *index.Index
-	searcher *core.Searcher
+	seg *segment.Segment
+
+	mu     sync.Mutex // serializes id assignment with delta appends
+	nextID int32
 }
 
 // withDefaults fills the zero-value construction knobs with the paper's
@@ -161,6 +177,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MiningSample <= 0 {
 		o.MiningSample = 300
+	}
+	if o.CompactFraction == 0 {
+		o.CompactFraction = 0.25
 	}
 	return o
 }
@@ -189,41 +208,79 @@ func (o Options) coreOptions() core.Options {
 	}
 }
 
+// segmentConfig translates the public knobs to the segment package for
+// the unsharded database (one segment, full verification budget).
+func (o Options) segmentConfig() segment.Config {
+	return segment.Config{
+		Mining:          o.miningOptions(),
+		Index:           index.Options{Kind: o.Kind, Metric: o.Metric},
+		Core:            o.coreOptions(),
+		KNNCore:         o.coreOptions(),
+		IndexWorkers:    o.BuildWorkers,
+		CompactFraction: o.CompactFraction,
+	}
+}
+
 // New indexes the given graphs. The slice is retained; do not mutate the
-// graphs afterwards.
+// graphs afterwards. Graph i gets id i; later Inserts continue from
+// len(graphs).
 func New(graphs []*Graph, opts Options) (*Database, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("pis: empty database")
 	}
 	opts = opts.withDefaults()
-	feats, err := mining.Mine(graphs, opts.miningOptions())
+	seg, err := segment.New(graphs, 0, opts.segmentConfig())
 	if err != nil {
-		return nil, fmt.Errorf("pis: mining features: %w", err)
+		return nil, fmt.Errorf("pis: %w", err)
 	}
-	if len(feats) == 0 {
-		return nil, fmt.Errorf("pis: no features met the support threshold; lower MinSupportFraction")
-	}
-	idx, err := index.BuildParallel(graphs, feats,
-		index.Options{Kind: opts.Kind, Metric: opts.Metric}, opts.BuildWorkers)
-	if err != nil {
-		return nil, fmt.Errorf("pis: building index: %w", err)
-	}
-	s := core.NewSearcher(graphs, idx, opts.coreOptions())
-	return &Database{graphs: graphs, features: feats, index: idx, searcher: s}, nil
+	return &Database{seg: seg, nextID: int32(len(graphs))}, nil
 }
 
-// Len returns the number of graphs.
-func (db *Database) Len() int { return len(db.graphs) }
+// Len returns the number of live graphs.
+func (db *Database) Len() int { return db.seg.Live() }
 
-// Graph returns the graph with the given id (its position in the input).
-func (db *Database) Graph(id int32) *Graph { return db.graphs[id] }
+// Graph returns the live graph with the given id, or nil when the id was
+// never assigned or the graph has been deleted.
+func (db *Database) Graph(id int32) *Graph { return db.seg.Graph(id) }
+
+// Insert appends g to the database under a fresh stable id, which it
+// returns. The graph lands in an in-memory delta segment and is
+// searchable immediately; once the delta outgrows
+// Options.CompactFraction of the indexed size it is folded into a
+// rebuilt index. The insert itself always succeeds — a non-nil error
+// reports a failed automatic compaction (the delta is retained, answers
+// stay exact).
+func (db *Database) Insert(g *Graph) (int32, error) {
+	db.mu.Lock()
+	id := db.nextID
+	db.nextID++
+	needsCompact := db.seg.Insert(g, id)
+	db.mu.Unlock()
+	if needsCompact {
+		return id, db.seg.Compact()
+	}
+	return id, nil
+}
+
+// Delete removes the graph with the given id from all future query
+// results (a tombstone; the index is cleaned up at the next compaction).
+// It reports whether the id was present and live.
+func (db *Database) Delete(id int32) bool { return db.seg.Delete(id) }
+
+// Compact folds the delta segment and tombstones into a freshly mined
+// and built index over the surviving graphs. Ids are unchanged. On error
+// the database keeps serving its pre-compaction state, still exactly.
+func (db *Database) Compact() error { return db.seg.Compact() }
+
+// LiveIDs returns the ids of every live graph, ascending.
+func (db *Database) LiveIDs() []int32 { return db.seg.AppendLiveIDs(nil) }
 
 // Search answers the SSSD query with the full PIS pipeline: find every
 // graph containing Q's structure within superimposed distance sigma.
 // The query must be a connected graph with at least one vertex.
 func (db *Database) Search(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
-	return db.searcher.Search(q, sigma)
+	return db.seg.Search(q, sigma)
 }
 
 func mustBeConnected(q *Graph) {
@@ -236,14 +293,14 @@ func mustBeConnected(q *Graph) {
 // (the paper's baseline). The query must be connected.
 func (db *Database) SearchTopoPrune(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
-	return db.searcher.SearchTopoPrune(q, sigma)
+	return db.seg.SearchTopoPrune(q, sigma)
 }
 
 // SearchNaive verifies every graph; the reference answer. The query must
 // be connected.
 func (db *Database) SearchNaive(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
-	return db.searcher.SearchNaive(q, sigma)
+	return db.seg.SearchNaive(q, sigma)
 }
 
 // Neighbor is one nearest-neighbor result.
@@ -255,7 +312,7 @@ type Neighbor = core.Neighbor
 // fewer than k results are possible.
 func (db *Database) SearchKNN(q *Graph, k int, maxSigma float64) []Neighbor {
 	mustBeConnected(q)
-	return db.searcher.SearchKNN(q, k, 0, maxSigma)
+	return db.seg.SearchKNN(q, k, 0, maxSigma)
 }
 
 // SearchBatch answers many queries concurrently with workers goroutines
@@ -276,51 +333,59 @@ func (db *Database) SearchBatch(queries []*Graph, sigma float64, workers int) []
 		go func(i int, q *Graph) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = db.searcher.Search(q, sigma)
+			out[i] = db.seg.Search(q, sigma)
 		}(i, q)
 	}
 	wg.Wait()
 	return out
 }
 
-// IndexStats summarizes the fragment index.
+// IndexStats summarizes the fragment index and its mutation overlay.
 type IndexStats struct {
 	Features  int // selected structure features (equivalence classes)
 	Fragments int // fragment occurrences folded into the index
 	Sequences int // distinct stored label sequences / vectors
+	// Delta counts inserted graphs not yet folded into the index;
+	// Tombstones counts deleted graphs not yet compacted away.
+	Delta      int
+	Tombstones int
 }
 
 // Stats reports index size counters.
 func (db *Database) Stats() IndexStats {
-	s := db.index.Stats()
-	return IndexStats{Features: s.Classes, Fragments: s.Fragments, Sequences: s.Sequences}
+	s := db.seg.IndexStats()
+	return IndexStats{
+		Features: s.Classes, Fragments: s.Fragments, Sequences: s.Sequences,
+		Delta: db.seg.DeltaLen(), Tombstones: db.seg.Tombstoned(),
+	}
 }
 
 // SaveIndex serializes the fragment index so a later process can skip the
 // mining and index-construction cost. The graphs themselves are not
-// included; persist them separately with WriteDatabase.
+// included; persist them separately with WriteDatabase. Only the indexed
+// base is written — Compact first if the database has live mutations.
 func (db *Database) SaveIndex(w io.Writer) error {
-	return db.index.Save(w)
+	return db.seg.SaveIndex(w)
 }
 
 // LoadIndex reconstructs a Database from graphs plus an index stream
 // written by SaveIndex. The graphs must be the exact database the index
 // was built over (same contents, same order), and opts.Metric must match
-// the build-time metric; only search-stage options (Epsilon, Lambda,
-// PartitionK, MaxFragmentsPerQuery) are honored from opts.
+// the build-time metric; search-stage options (Epsilon, Lambda,
+// PartitionK, MaxFragmentsPerQuery, VerifyWorkers) plus the mutation
+// knobs (mining options and CompactFraction, used by later compactions)
+// are honored from opts.
 func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
-	if opts.Metric == nil {
-		opts.Metric = EdgeMutation
-	}
+	opts = opts.withDefaults()
 	idx, err := index.Load(r, opts.Metric)
 	if err != nil {
 		return nil, fmt.Errorf("pis: loading index: %w", err)
 	}
-	if idx.DBSize() != len(graphs) {
-		return nil, fmt.Errorf("pis: index covers %d graphs, got %d", idx.DBSize(), len(graphs))
+	seg, err := segment.FromIndex(graphs, 0, idx, opts.segmentConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
 	}
-	s := core.NewSearcher(graphs, idx, opts.coreOptions())
-	return &Database{graphs: graphs, index: idx, searcher: s}, nil
+	return &Database{seg: seg, nextID: int32(len(graphs))}, nil
 }
 
 // Sharded is an indexed graph database split into contiguous shards, each
@@ -328,6 +393,9 @@ func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 // It answers exactly like a Database over the same graphs: Search returns
 // the same answer set and SearchKNN the same neighbors in the same order;
 // only the per-stage statistics differ (counters aggregate across shards).
+// Like Database it is mutable while serving: Insert routes new graphs to
+// the shard with the fewest live graphs, Delete tombstones the owning
+// shard, and compaction runs per shard.
 type Sharded struct {
 	db *shard.DB
 }
@@ -344,26 +412,49 @@ func NewSharded(graphs []*Graph, nShards int, opts Options) (*Sharded, error) {
 		return nil, fmt.Errorf("pis: nShards must be >= 1, got %d", nShards)
 	}
 	opts = opts.withDefaults()
-	db, err := shard.New(graphs, nShards, shard.Config{
-		Mining:       opts.miningOptions(),
-		Index:        index.Options{Kind: opts.Kind, Metric: opts.Metric},
-		Core:         opts.coreOptions(),
-		IndexWorkers: opts.BuildWorkers,
-	})
+	db, err := shard.New(graphs, nShards, opts.shardConfig())
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
 	return &Sharded{db: db}, nil
 }
 
+// shardConfig translates the public knobs to the shard package.
+func (o Options) shardConfig() shard.Config {
+	return shard.Config{
+		Mining:          o.miningOptions(),
+		Index:           index.Options{Kind: o.Kind, Metric: o.Metric},
+		Core:            o.coreOptions(),
+		IndexWorkers:    o.BuildWorkers,
+		CompactFraction: o.CompactFraction,
+	}
+}
+
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return s.db.NumShards() }
 
-// Len returns the total number of graphs.
+// Len returns the number of live graphs.
 func (s *Sharded) Len() int { return s.db.Len() }
 
-// Graph returns the graph with the given id (its position in the input).
+// Graph returns the live graph with the given id, or nil when the id was
+// never assigned or the graph has been deleted.
 func (s *Sharded) Graph(id int32) *Graph { return s.db.Graph(id) }
+
+// Insert appends g to the shard with the fewest live graphs and returns
+// its stable global id. Like Database.Insert, a non-nil error reports a
+// failed automatic shard compaction; the graph is searchable either way.
+func (s *Sharded) Insert(g *Graph) (int32, error) { return s.db.Insert(g) }
+
+// Delete removes the graph with the given id from all future query
+// results, reporting whether the id was present and live.
+func (s *Sharded) Delete(id int32) bool { return s.db.Delete(id) }
+
+// Compact folds every shard's delta and tombstones into fresh per-shard
+// indexes, in parallel. Ids are unchanged.
+func (s *Sharded) Compact() error { return s.db.Compact() }
+
+// LiveIDs returns the ids of every live graph, ascending.
+func (s *Sharded) LiveIDs() []int32 { return s.db.LiveIDs() }
 
 // Search answers the SSSD query on every shard in parallel and merges the
 // results; ids are global. The query must be connected.
@@ -395,7 +486,11 @@ func (s *Sharded) SearchKNN(q *Graph, k int, maxSigma float64) []Neighbor {
 // feature classes, so the same structure mined by two shards counts twice.
 func (s *Sharded) Stats() IndexStats {
 	st := s.db.Stats()
-	return IndexStats{Features: st.Classes, Fragments: st.Fragments, Sequences: st.Sequences}
+	delta, tombs := s.db.Overlay()
+	return IndexStats{
+		Features: st.Classes, Fragments: st.Fragments, Sequences: st.Sequences,
+		Delta: delta, Tombstones: tombs,
+	}
 }
 
 // SaveShardIndex serializes shard i's fragment index (0 <= i < NumShards).
@@ -412,7 +507,7 @@ func (s *Sharded) SaveShardIndex(i int, w io.Writer) error {
 // only search-stage options are honored from opts.
 func LoadShardedIndex(graphs []*Graph, readers []io.Reader, opts Options) (*Sharded, error) {
 	opts = opts.withDefaults()
-	db, err := shard.Load(graphs, readers, opts.Metric, opts.coreOptions())
+	db, err := shard.LoadConfig(graphs, readers, opts.shardConfig())
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}

@@ -65,6 +65,11 @@ type lruCache struct {
 	entries  map[string]*list.Element
 	hits     int64
 	misses   int64
+	// gen counts invalidations. A result computed before a Clear must not
+	// be inserted after it (the backend snapshot it came from predates the
+	// mutation), so writers capture Gen before running the query and store
+	// with PutAt, which drops the entry when the generation moved on.
+	gen int64
 }
 
 type lruEntry struct {
@@ -96,12 +101,41 @@ func (c *lruCache) Get(key string) (any, bool) {
 	return nil, false
 }
 
+// Gen returns the current invalidation generation, captured by writers
+// before they run the query whose result they intend to cache.
+func (c *lruCache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// PutAt stores value only when no Clear has happened since gen was
+// captured; a stale result — computed over a pre-mutation snapshot — is
+// silently dropped instead of resurrecting answers a mutation already
+// invalidated.
+func (c *lruCache) PutAt(key string, value any, gen int64) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	c.put(key, value)
+}
+
 func (c *lruCache) Put(key string, value any) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.put(key, value)
+}
+
+// put inserts under c.mu.
+func (c *lruCache) put(key string, value any) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*lruEntry).value = value
 		c.order.MoveToFront(el)
@@ -113,6 +147,18 @@ func (c *lruCache) Put(key string, value any) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*lruEntry).key)
 	}
+}
+
+// Clear drops every entry and advances the generation (mutation
+// invalidation: a database change can alter any cached answer set, and
+// in-flight queries started before the change must not re-populate the
+// cache). Hit/miss counters are preserved.
+func (c *lruCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+	c.gen++
 }
 
 // Counters reports size and hit statistics.

@@ -141,6 +141,34 @@ type BatchResponse struct {
 	ElapsedMS float64          `json:"elapsed_ms"`
 }
 
+// InsertRequest is the body of POST /graphs.
+type InsertRequest struct {
+	Graph GraphJSON `json:"graph"`
+}
+
+// InsertResponse is the body returned by POST /graphs. ID is the new
+// graph's stable id; Graphs is the live graph count afterwards. Warning
+// is set when the insert succeeded but an automatic compaction failed
+// (answers remain exact; the delta is retained).
+type InsertResponse struct {
+	ID      int32  `json:"id"`
+	Graphs  int    `json:"graphs"`
+	Warning string `json:"warning,omitempty"`
+}
+
+// DeleteResponse is the body returned by DELETE /graphs/{id}.
+type DeleteResponse struct {
+	ID     int32 `json:"id"`
+	Graphs int   `json:"graphs"`
+}
+
+// CompactResponse is the body returned by POST /compact.
+type CompactResponse struct {
+	Graphs    int            `json:"graphs"`
+	Index     IndexStatsJSON `json:"index"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -1,17 +1,23 @@
 // Package server exposes a PIS graph database — typically a sharded one —
 // over an HTTP JSON API:
 //
-//	POST /search       {"query": {...}, "sigma": 2}
-//	POST /knn          {"query": {...}, "k": 5, "max_sigma": 8}
-//	POST /batch        {"queries": [{...}, ...], "sigma": 2}
-//	GET  /graphs/{id}  one database graph
-//	GET  /stats        index, cache, and per-endpoint request counters
-//	GET  /healthz      liveness probe
+//	POST   /search       {"query": {...}, "sigma": 2}
+//	POST   /knn          {"query": {...}, "k": 5, "max_sigma": 8}
+//	POST   /batch        {"queries": [{...}, ...], "sigma": 2}
+//	POST   /graphs       {"graph": {...}}    insert, returns the new id
+//	DELETE /graphs/{id}  delete one graph (404 when absent)
+//	POST   /compact      fold delta + tombstones into fresh indexes
+//	GET    /graphs/{id}  one database graph
+//	GET    /stats        index, cache, mutation, and request counters
+//	GET    /healthz      liveness probe
 //
 // Search and kNN results are cached in an LRU keyed by the query's
 // canonical form (minimum DFS code plus weights) and the search
 // parameters, so isomorphic queries submitted with different vertex
-// orders share one entry. An optional in-flight limit bounds concurrent
+// orders share one entry. Any mutation clears the cache — a changed
+// database can change any answer set — observable in /stats. Each query
+// request runs against the consistent snapshot the backend takes when
+// the request starts. An optional in-flight limit bounds concurrent
 // query execution; Run serves with graceful shutdown.
 package server
 
@@ -29,7 +35,9 @@ import (
 )
 
 // Backend is the database surface the server needs. Both *pis.Database and
-// *pis.Sharded implement it.
+// *pis.Sharded implement it. Graph ids are stable: an id returned by
+// Insert keeps naming the same graph across compactions and is never
+// reused after Delete.
 type Backend interface {
 	Len() int
 	Graph(id int32) *pis.Graph
@@ -37,6 +45,9 @@ type Backend interface {
 	SearchBatch(queries []*pis.Graph, sigma float64, workers int) []pis.Result
 	SearchKNN(q *pis.Graph, k int, maxSigma float64) []pis.Neighbor
 	Stats() pis.IndexStats
+	Insert(g *pis.Graph) (int32, error)
+	Delete(id int32) bool
+	Compact() error
 }
 
 // Config configures a Server.
@@ -76,8 +87,9 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	mu      sync.Mutex
-	metrics map[string]*endpointMetrics
+	mu        sync.Mutex
+	metrics   map[string]*endpointMetrics
+	mutations MutationStatsJSON
 }
 
 // New builds a Server from cfg.
@@ -103,6 +115,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /knn", s.instrument("knn", true, s.handleKNN))
 	s.mux.HandleFunc("POST /batch", s.instrument("batch", true, s.handleBatch))
 	s.mux.HandleFunc("GET /graphs/{id}", s.instrument("graphs", false, s.handleGraph))
+	s.mux.HandleFunc("POST /graphs", s.instrument("insert", false, s.handleInsert))
+	s.mux.HandleFunc("DELETE /graphs/{id}", s.instrument("delete", false, s.handleDelete))
+	s.mux.HandleFunc("POST /compact", s.instrument("compact", true, s.handleCompact))
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -210,7 +225,10 @@ func decodeQuery(w http.ResponseWriter, gj GraphJSON) (*pis.Graph, bool) {
 
 // cacheSearchResult converts a raw result to its wire form and stores it
 // under key; /search and /batch share it so both routes always agree.
-func (s *Server) cacheSearchResult(key string, r pis.Result) SearchResponse {
+// gen must have been captured from the cache before the search ran, so a
+// result computed over a pre-mutation snapshot is never cached after the
+// mutation invalidated everything.
+func (s *Server) cacheSearchResult(key string, r pis.Result, gen int64) SearchResponse {
 	resp := SearchResponse{
 		Answers:   r.Answers,
 		Distances: r.Distances,
@@ -219,7 +237,7 @@ func (s *Server) cacheSearchResult(key string, r pis.Result) SearchResponse {
 	if resp.Distances == nil {
 		resp.Distances = []float64{}
 	}
-	s.cache.Put(key, resp)
+	s.cache.PutAt(key, resp, gen)
 	return resp
 }
 
@@ -233,7 +251,8 @@ func (s *Server) searchResponse(q *pis.Graph, sigma float64) SearchResponse {
 			return resp
 		}
 	}
-	return s.cacheSearchResult(key, s.backend.Search(q, sigma))
+	gen := s.cache.Gen()
+	return s.cacheSearchResult(key, s.backend.Search(q, sigma), gen)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -284,12 +303,13 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	gen := s.cache.Gen()
 	ns := s.backend.SearchKNN(q, req.K, req.MaxSigma)
 	resp := KNNResponse{Neighbors: make([]NeighborJSON, len(ns))}
 	for i, n := range ns {
 		resp.Neighbors[i] = NeighborJSON{ID: n.ID, Distance: n.Distance}
 	}
-	s.cache.Put(key, resp)
+	s.cache.PutAt(key, resp, gen)
 	resp.ElapsedMS = msSince(start)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -343,22 +363,102 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if workers <= 0 {
 			workers = s.cfg.BatchWorkers // 0 falls through to the backend default
 		}
+		gen := s.cache.Gen()
 		rs := s.backend.SearchBatch(missQueries, req.Sigma, workers)
 		for j, r := range rs {
-			results[missIdx[j]] = s.cacheSearchResult(missKeys[j], r)
+			results[missIdx[j]] = s.cacheSearchResult(missKeys[j], r, gen)
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ElapsedMS: msSince(start)})
 }
 
+// pathID parses the {id} path segment as a graph id, rejecting values
+// outside int32 (a plain int cast would wrap 2^32 to 0 and address the
+// wrong graph).
+func pathID(r *http.Request) (int32, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return int32(id), true
+}
+
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.backend.Len() {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no graph %q (database holds ids 0..%d)",
-			r.PathValue("id"), s.backend.Len()-1))
+	id, ok := pathID(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no graph %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, EncodeGraph(s.backend.Graph(int32(id))))
+	g := s.backend.Graph(id)
+	if g == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no live graph %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeGraph(g))
+}
+
+// invalidate clears the result cache and counts one accepted mutation:
+// any database change can alter any cached answer set.
+func (s *Server) invalidate(kind *int64) {
+	s.cache.Clear()
+	s.mu.Lock()
+	*kind++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, err := DecodeGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid graph: "+err.Error())
+		return
+	}
+	if g.N() == 0 {
+		writeError(w, http.StatusBadRequest, "graph must have at least one vertex")
+		return
+	}
+	id, err := s.backend.Insert(g)
+	s.invalidate(&s.mutations.Inserts)
+	resp := InsertResponse{ID: id, Graphs: s.backend.Len()}
+	if err != nil {
+		// The insert itself succeeded; only the automatic compaction
+		// failed. Report it without failing the request — answers stay
+		// exact with the delta in place.
+		resp.Warning = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no graph %q", r.PathValue("id")))
+		return
+	}
+	if !s.backend.Delete(id) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no live graph %d", id))
+		return
+	}
+	s.invalidate(&s.mutations.Deletes)
+	writeJSON(w, http.StatusOK, DeleteResponse{ID: id, Graphs: s.backend.Len()})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.backend.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, "compaction failed: "+err.Error())
+		return
+	}
+	s.invalidate(&s.mutations.Compactions)
+	ist := s.backend.Stats()
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Graphs:    s.backend.Len(),
+		Index:     encodeIndexStats(ist),
+		ElapsedMS: msSince(start),
+	})
 }
 
 // IndexStatsJSON is the wire form of pis.IndexStats.
@@ -366,6 +466,24 @@ type IndexStatsJSON struct {
 	Features  int `json:"features"`
 	Fragments int `json:"fragments"`
 	Sequences int `json:"sequences"`
+	// Delta counts inserted graphs not yet folded into the index;
+	// Tombstones counts deleted graphs not yet compacted away.
+	Delta      int `json:"delta"`
+	Tombstones int `json:"tombstones"`
+}
+
+func encodeIndexStats(s pis.IndexStats) IndexStatsJSON {
+	return IndexStatsJSON{
+		Features: s.Features, Fragments: s.Fragments, Sequences: s.Sequences,
+		Delta: s.Delta, Tombstones: s.Tombstones,
+	}
+}
+
+// MutationStatsJSON reports accepted mutations since startup.
+type MutationStatsJSON struct {
+	Inserts     int64 `json:"inserts"`
+	Deletes     int64 `json:"deletes"`
+	Compactions int64 `json:"compactions"`
 }
 
 // CacheStatsJSON reports result-cache occupancy and effectiveness.
@@ -390,6 +508,7 @@ type ServerStats struct {
 	Shards        int                          `json:"shards,omitempty"`
 	Index         IndexStatsJSON               `json:"index"`
 	Cache         CacheStatsJSON               `json:"cache"`
+	Mutations     MutationStatsJSON            `json:"mutations"`
 	Requests      map[string]EndpointStatsJSON `json:"requests"`
 	InFlightLimit int                          `json:"inflight_limit,omitempty"`
 	UptimeMS      float64                      `json:"uptime_ms"`
@@ -400,7 +519,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.Counters()
 	out := ServerStats{
 		Graphs: s.backend.Len(),
-		Index:  IndexStatsJSON{Features: ist.Features, Fragments: ist.Fragments, Sequences: ist.Sequences},
+		Index:  encodeIndexStats(ist),
 		Cache: CacheStatsJSON{
 			Capacity: s.cfg.CacheSize,
 			Entries:  entries,
@@ -415,6 +534,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Shards = sh.NumShards()
 	}
 	s.mu.Lock()
+	out.Mutations = s.mutations
 	for name, m := range s.metrics {
 		e := EndpointStatsJSON{
 			Count:   m.Count,
