@@ -3,16 +3,28 @@
 //
 // Usage:
 //
-//	pisserved -db screen.db -shards 4                 # serve a database file
-//	pisserved -gen 2000 -shards 4                     # serve a synthetic database
-//	pisserved -db screen.db -index-dir ./idx          # persist per-shard indexes;
-//	                                                  # restarts skip mining
+//	pisserved -db screen.db -shards 4                 # in-memory, serve a database file
+//	pisserved -gen 2000 -shards 4                     # in-memory, synthetic database
+//	pisserved -db screen.db -shards 4 -data-dir ./pis # durable: bootstrap the store
+//	pisserved -data-dir ./pis                         # restart: recover, no -db needed
 //
 // Endpoints: POST /search, POST /knn, POST /batch, GET /graphs/{id},
-// POST /graphs (insert), DELETE /graphs/{id}, POST /compact, GET /stats,
-// GET /healthz. Mutations are in-memory only: a saved -index-dir always
-// reflects the database file it was built from, so a restart serves the
-// original file and replayed mutations are the client's responsibility.
+// POST /graphs (insert), DELETE /graphs/{id}, POST /compact,
+// POST /checkpoint, GET /stats, GET /healthz.
+//
+// With -data-dir the database is durable: every accepted insert and
+// delete is written to a per-shard write-ahead log and fsync'd before
+// the response, compactions and checkpoints write atomic snapshots, and
+// a restart — graceful or not — recovers the exact acknowledged state
+// from the newest snapshots plus the log tails, with no re-mining.
+// Without -data-dir mutations are in-memory only and vanish on exit.
+//
+// A -data-dir pointing at a legacy -index-dir layout (per-shard .pisidx
+// files plus a fingerprint manifest) is migrated in place: the old
+// indexes are loaded once, a snapshot-based store is written next to
+// them, and later restarts use the store alone. The legacy files can
+// then be deleted.
+//
 // The process shuts down gracefully on SIGINT or SIGTERM, draining
 // in-flight requests. See README.md for request bodies and curl
 // examples.
@@ -44,39 +56,61 @@ func main() {
 		dbPath   = flag.String("db", "", "database file (transaction format)")
 		genN     = flag.Int("gen", 0, "instead of -db, generate this many synthetic molecules")
 		seed     = flag.Int64("seed", 1, "seed for -gen")
-		shards   = flag.Int("shards", 1, "number of contiguous index shards")
+		shards   = flag.Int("shards", 1, "number of contiguous index shards (ignored when -data-dir already holds a store)")
 		maxFrag  = flag.Int("maxfrag", 5, "maximum indexed fragment size (edges)")
 		cache    = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
-		indexDir = flag.String("index-dir", "", "directory for per-shard index files; loaded when present, written after a fresh build")
+		dataDir  = flag.String("data-dir", "", "durable store directory: recovered when present (no -db needed), created from -db/-gen otherwise; legacy -index-dir layouts migrate in place")
 		compact  = flag.Float64("compact-fraction", 0.25, "auto-compact a shard when its insert delta exceeds this fraction of its indexed size (negative disables)")
 	)
 	flag.Parse()
-	if (*dbPath == "") == (*genN == 0) {
-		log.Fatal("exactly one of -db or -gen is required")
+	if *dbPath != "" && *genN != 0 {
+		log.Fatal("at most one of -db or -gen may be given")
+	}
+	haveSource := *dbPath != "" || *genN != 0
+	canRecover := *dataDir != "" && pis.StoreExists(*dataDir)
+	if !haveSource && !canRecover {
+		log.Fatal("one of -db or -gen is required (or -data-dir must hold an existing store)")
 	}
 
-	var graphs []*pis.Graph
-	if *dbPath != "" {
-		f, err := os.Open(*dbPath)
+	opts := pis.Options{MaxFragmentEdges: *maxFrag, CompactFraction: *compact}
+	var db *pis.Sharded
+	var err error
+	switch {
+	case canRecover:
+		if haveSource {
+			log.Printf("data dir %s already holds a store; ignoring -db/-gen", *dataDir)
+		}
+		start := time.Now()
+		db, err = pis.OpenSharded(*dataDir, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		graphs, err = pis.ReadDatabase(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("reading database: %v", err)
+		d := db.Durability()
+		log.Printf("recovered %d graphs in %d shards from %s in %v (replayed %d WAL records, dropped %d torn bytes)",
+			db.Len(), db.NumShards(), *dataDir, time.Since(start), d.ReplayedRecords, d.RecoveryDroppedBytes)
+	default:
+		var graphs []*pis.Graph
+		if *dbPath != "" {
+			f, err := os.Open(*dbPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			graphs, err = pis.ReadDatabase(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("reading database: %v", err)
+			}
+		} else {
+			graphs = gen.Molecules(*genN, gen.Config{Seed: *seed})
 		}
-	} else {
-		graphs = gen.Molecules(*genN, gen.Config{Seed: *seed})
+		log.Printf("database: %d graphs", len(graphs))
+		db, err = buildSharded(graphs, *shards, opts, *dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	log.Printf("database: %d graphs", len(graphs))
-
-	opts := pis.Options{MaxFragmentEdges: *maxFrag, CompactFraction: *compact}
-	db, err := openSharded(graphs, *shards, opts, *indexDir)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer db.Close()
 	st := db.Stats()
 	log.Printf("index: %d shards, %d features, %d fragments", db.NumShards(), st.Features, st.Fragments)
 
@@ -98,53 +132,17 @@ func main() {
 	log.Print("shut down cleanly")
 }
 
-// shardIndexPath names shard i's index file for an n-shard layout; the
-// shard count is baked into the name so a -shards change forces a rebuild
-// instead of a mismatched load.
-func shardIndexPath(dir string, i, n int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.pisidx", i, n))
-}
-
-func manifestPath(dir string) string { return filepath.Join(dir, "manifest") }
-
-// dbFingerprint hashes the full database contents. Saved indexes are only
-// valid for the exact graphs they were built over; a matching graph count
-// alone is not enough (same-size database with different contents would
-// load cleanly and then silently drop true answers).
-func dbFingerprint(graphs []*pis.Graph) (string, error) {
-	h := fnv.New64a()
-	if err := pis.WriteDatabase(h, graphs); err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("%016x", h.Sum64()), nil
-}
-
-// openSharded loads the per-shard indexes from dir when they are present
-// and the manifest fingerprint matches the database, otherwise builds
-// from scratch (and saves to dir when given).
-func openSharded(graphs []*pis.Graph, nShards int, opts pis.Options, dir string) (*pis.Sharded, error) {
+// buildSharded constructs the database from graphs. With a data dir it
+// becomes durable: a legacy index layout is migrated via load+persist
+// when its fingerprint matches, otherwise the index is built fresh and
+// persisted.
+func buildSharded(graphs []*pis.Graph, nShards int, opts pis.Options, dataDir string) (*pis.Sharded, error) {
 	if nShards > len(graphs) {
 		nShards = len(graphs)
 	}
-	fp, err := dbFingerprint(graphs)
-	if err != nil {
-		return nil, err
-	}
-	if dir != "" {
-		saved, err := os.ReadFile(manifestPath(dir))
-		switch {
-		case err == nil && string(saved) != fp:
-			log.Printf("index dir %s was built for a different database (fingerprint %s, want %s); rebuilding",
-				dir, saved, fp)
-		case err == nil:
-			if db, err := loadFromDir(graphs, nShards, opts, dir); err == nil {
-				log.Printf("loaded %d shard indexes from %s", nShards, dir)
-				return db, nil
-			} else if !os.IsNotExist(err) {
-				return nil, err
-			}
-		case !os.IsNotExist(err):
-			return nil, err
+	if dataDir != "" {
+		if db, ok := migrateLegacy(graphs, nShards, opts, dataDir); ok {
+			return db, nil
 		}
 	}
 	start := time.Now()
@@ -153,16 +151,47 @@ func openSharded(graphs []*pis.Graph, nShards int, opts pis.Options, dir string)
 		return nil, err
 	}
 	log.Printf("built %d shard indexes in %v", db.NumShards(), time.Since(start))
-	if dir != "" {
-		if err := saveToDir(db, dir, fp); err != nil {
+	if dataDir != "" {
+		if err := db.Persist(dataDir); err != nil {
 			return nil, err
 		}
-		log.Printf("saved shard indexes to %s", dir)
+		log.Printf("persisted database store to %s", dataDir)
 	}
 	return db, nil
 }
 
-func loadFromDir(graphs []*pis.Graph, nShards int, opts pis.Options, dir string) (*pis.Sharded, error) {
+// Legacy -index-dir layout: per-shard gob index files plus a database
+// fingerprint manifest, written by earlier pisserved versions.
+func legacyShardPath(dir string, i, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.pisidx", i, n))
+}
+
+func legacyManifestPath(dir string) string { return filepath.Join(dir, "manifest") }
+
+// legacyFingerprint hashes the full database contents the way the old
+// -index-dir manifest did.
+func legacyFingerprint(graphs []*pis.Graph) (string, error) {
+	h := fnv.New64a()
+	if err := pis.WriteDatabase(h, graphs); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// migrateLegacy loads a legacy index layout from dataDir when one is
+// present and matches graphs, then persists it as a snapshot-based store
+// in the same directory — a one-time checkpoint instead of a re-mine.
+// ok is false when there is nothing (valid) to migrate.
+func migrateLegacy(graphs []*pis.Graph, nShards int, opts pis.Options, dataDir string) (*pis.Sharded, bool) {
+	saved, err := os.ReadFile(legacyManifestPath(dataDir))
+	if err != nil {
+		return nil, false
+	}
+	fp, err := legacyFingerprint(graphs)
+	if err != nil || string(saved) != fp {
+		log.Printf("legacy index dir %s was built for a different database; rebuilding", dataDir)
+		return nil, false
+	}
 	files := make([]*os.File, 0, nShards)
 	defer func() {
 		for _, f := range files {
@@ -171,35 +200,24 @@ func loadFromDir(graphs []*pis.Graph, nShards int, opts pis.Options, dir string)
 	}()
 	readers := make([]io.Reader, 0, nShards)
 	for i := 0; i < nShards; i++ {
-		f, err := os.Open(shardIndexPath(dir, i, nShards))
+		f, err := os.Open(legacyShardPath(dataDir, i, nShards))
 		if err != nil {
-			return nil, err
+			log.Printf("legacy index dir %s is incomplete for %d shards; rebuilding", dataDir, nShards)
+			return nil, false
 		}
 		files = append(files, f)
 		readers = append(readers, f)
 	}
-	return pis.LoadShardedIndex(graphs, readers, opts)
-}
-
-func saveToDir(db *pis.Sharded, dir, fingerprint string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+	db, err := pis.LoadShardedIndex(graphs, readers, opts)
+	if err != nil {
+		log.Printf("legacy index load failed (%v); rebuilding", err)
+		return nil, false
 	}
-	n := db.NumShards()
-	for i := 0; i < n; i++ {
-		f, err := os.Create(shardIndexPath(dir, i, n))
-		if err != nil {
-			return err
-		}
-		if err := db.SaveShardIndex(i, f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+	if err := db.Persist(dataDir); err != nil {
+		// Never degrade silently to in-memory when the operator asked for
+		// -data-dir: acknowledged mutations would vanish on restart.
+		log.Fatalf("migrating legacy index dir %s failed: %v", dataDir, err)
 	}
-	// The manifest is written last: a crash mid-save leaves no fingerprint
-	// and the next start rebuilds instead of loading a partial set.
-	return os.WriteFile(manifestPath(dir), []byte(fingerprint), 0o644)
+	log.Printf("migrated legacy index dir %s to a durable store (legacy .pisidx files can be deleted)", dataDir)
+	return db, true
 }

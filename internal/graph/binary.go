@@ -1,0 +1,169 @@
+// Compact binary graph encoding, the storage form used by the durable
+// store's snapshots and WAL records, and the input to the database
+// fingerprint that ties a persisted index to the exact graph set it was
+// built over. The text transaction codec (codec.go) stays the interchange
+// format; this one is for machine round-trips, so it preserves full
+// fidelity including whether a graph carries vertex weights at all.
+
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Encoding flags.
+const (
+	binHasVWeights = 1 << 0 // vertex weight slab present
+	binHasEWeights = 1 << 1 // edge weight slab present
+)
+
+// AppendBinary appends the binary encoding of g to dst and returns the
+// extended slice. Layout: flags byte, uvarint n and m, n vertex-label
+// uvarints, optional n little-endian float64 vertex weights, m edges as
+// (uvarint u, uvarint v, uvarint label), optional m little-endian
+// float64 edge weights.
+func (g *Graph) AppendBinary(dst []byte) []byte {
+	flags := byte(0)
+	if g.vweights != nil {
+		flags |= binHasVWeights
+	}
+	for _, e := range g.edges {
+		if e.Weight != 0 {
+			flags |= binHasEWeights
+			break
+		}
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(g.N()))
+	dst = binary.AppendUvarint(dst, uint64(g.M()))
+	for _, l := range g.vlabels {
+		dst = binary.AppendUvarint(dst, uint64(l))
+	}
+	if flags&binHasVWeights != 0 {
+		for _, w := range g.vweights {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w))
+		}
+	}
+	for _, e := range g.edges {
+		dst = binary.AppendUvarint(dst, uint64(e.U))
+		dst = binary.AppendUvarint(dst, uint64(e.V))
+		dst = binary.AppendUvarint(dst, uint64(e.Label))
+	}
+	if flags&binHasEWeights != 0 {
+		for _, e := range g.edges {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Weight))
+		}
+	}
+	return dst
+}
+
+// DecodeBinary decodes one graph from the front of b, returning the graph
+// and the unconsumed remainder. The input is trusted to the extent of its
+// framing (snapshot and WAL payloads are CRC-checked before decoding);
+// structural invariants are still validated so a logic bug upstream fails
+// loudly instead of producing a malformed Graph.
+func DecodeBinary(b []byte) (*Graph, []byte, error) {
+	fail := func(what string) (*Graph, []byte, error) {
+		return nil, nil, fmt.Errorf("graph: truncated binary encoding (%s)", what)
+	}
+	if len(b) < 1 {
+		return fail("flags")
+	}
+	flags := b[0]
+	b = b[1:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return fail("vertex count")
+	}
+	b = b[k:]
+	m, k := binary.Uvarint(b)
+	if k <= 0 {
+		return fail("edge count")
+	}
+	b = b[k:]
+	if n > uint64(len(b)) || m > uint64(len(b))/3 {
+		return fail("counts exceed payload")
+	}
+	g := &Graph{vlabels: make([]VLabel, n)}
+	for i := range g.vlabels {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || l > math.MaxUint16 {
+			return fail("vertex label")
+		}
+		g.vlabels[i] = VLabel(l)
+		b = b[k:]
+	}
+	if flags&binHasVWeights != 0 {
+		if len(b) < 8*int(n) {
+			return fail("vertex weights")
+		}
+		g.vweights = make([]float64, n)
+		for i := range g.vweights {
+			g.vweights[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		b = b[8*int(n):]
+	}
+	g.edges = make([]Edge, m)
+	for i := range g.edges {
+		u, ku := binary.Uvarint(b)
+		b = b[max(ku, 0):]
+		v, kv := binary.Uvarint(b)
+		b = b[max(kv, 0):]
+		l, kl := binary.Uvarint(b)
+		b = b[max(kl, 0):]
+		if ku <= 0 || kv <= 0 || kl <= 0 || l > math.MaxUint16 {
+			return fail("edge")
+		}
+		if u >= v || v >= n {
+			return nil, nil, fmt.Errorf("graph: invalid binary edge (%d,%d) in %d-vertex graph", u, v, n)
+		}
+		g.edges[i] = Edge{U: int32(u), V: int32(v), Label: ELabel(l)}
+	}
+	if flags&binHasEWeights != 0 {
+		if len(b) < 8*int(m) {
+			return fail("edge weights")
+		}
+		for i := range g.edges {
+			g.edges[i].Weight = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		b = b[8*int(m):]
+	}
+	g.adj = make([][]int32, n)
+	for i, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], int32(i))
+		g.adj[e.V] = append(g.adj[e.V], int32(i))
+	}
+	for _, a := range g.adj {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return g, b, nil
+}
+
+// Fingerprint hashes the full contents of an ordered graph set (labels,
+// weights, edge structure, graph order) into a 64-bit value that is never
+// zero, so zero can mean "no fingerprint recorded". A persisted index
+// carries the fingerprint of the set it was built over; loading it
+// against any other set fails instead of silently returning wrong
+// answers.
+func Fingerprint(graphs []*Graph) uint64 {
+	h := fnv.New64a()
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(graphs)))
+	h.Write(scratch[:n])
+	var buf []byte
+	for _, g := range graphs {
+		buf = g.AppendBinary(buf[:0])
+		n := binary.PutUvarint(scratch[:], uint64(len(buf)))
+		h.Write(scratch[:n])
+		h.Write(buf)
+	}
+	fp := h.Sum64()
+	if fp == 0 {
+		return 1
+	}
+	return fp
+}

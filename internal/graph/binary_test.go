@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomBinGraph builds a random simple graph, optionally weighted.
+func randomBinGraph(rng *rand.Rand, weighted bool) *Graph {
+	n := 1 + rng.Intn(8)
+	b := NewBuilder(n, n*2)
+	for i := 0; i < n; i++ {
+		if weighted {
+			b.AddWeightedVertex(VLabel(rng.Intn(9)), rng.NormFloat64())
+		} else {
+			b.AddVertex(VLabel(rng.Intn(9)))
+		}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			if rng.Intn(3) == 0 {
+				w := 0.0
+				if weighted || rng.Intn(4) == 0 {
+					w = rng.NormFloat64()
+				}
+				b.AddWeightedEdge(u, v, ELabel(rng.Intn(5)), w)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// sameGraph compares two graphs through the text codec, which renders
+// every observable field.
+func sameGraph(t *testing.T, a, b *Graph) bool {
+	t.Helper()
+	var ba, bb bytes.Buffer
+	if err := WriteDB(&ba, []*Graph{a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDB(&bb, []*Graph{b}); err != nil {
+		t.Fatal(err)
+	}
+	return ba.String() == bb.String()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		g := randomBinGraph(rng, i%2 == 0)
+		enc := g.AppendBinary(nil)
+		// A second graph appended after the first must decode in sequence.
+		g2 := randomBinGraph(rng, i%3 == 0)
+		enc = g2.AppendBinary(enc)
+		d1, rest, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("decode 1: %v", err)
+		}
+		d2, rest, err := DecodeBinary(rest)
+		if err != nil {
+			t.Fatalf("decode 2: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes after decoding both graphs", len(rest))
+		}
+		if !sameGraph(t, g, d1) || !sameGraph(t, g2, d2) {
+			t.Fatal("binary round-trip changed the graph")
+		}
+		// Weightedness is preserved exactly, not just observably.
+		if (g.vweights == nil) != (d1.vweights == nil) {
+			t.Fatal("vertex-weight presence not preserved")
+		}
+	}
+}
+
+func TestBinaryDecodeTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomBinGraph(rng, true)
+	enc := g.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeBinary(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	graphs := make([]*Graph, 12)
+	for i := range graphs {
+		graphs[i] = randomBinGraph(rng, i%2 == 0)
+	}
+	fp := Fingerprint(graphs)
+	if fp == 0 {
+		t.Fatal("fingerprint 0 is reserved for 'none'")
+	}
+	if Fingerprint(graphs) != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint(graphs[:11]) == fp {
+		t.Fatal("fingerprint ignored a dropped graph")
+	}
+	swapped := append([]*Graph(nil), graphs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if Fingerprint(swapped) == fp {
+		t.Fatal("fingerprint is order-insensitive")
+	}
+}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 
 	"pis/internal/chem"
 	"pis/internal/core"
+	"pis/internal/index"
 )
 
 // BenchReport is the serialized outcome of one timed workload.
@@ -54,6 +56,15 @@ type BenchReport struct {
 	// End-to-end throughput (filter + verify, serial).
 	TotalMS       float64 `json:"total_ms"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
+
+	// Restart economics of the durable store: serializing the index
+	// (IndexSaveMS, IndexBytes), loading it back (IndexLoadMS), and how
+	// that compares to mining + building from scratch
+	// (LoadVsBuildSpeedup = BuildMS / IndexLoadMS).
+	IndexSaveMS        float64 `json:"index_save_ms"`
+	IndexLoadMS        float64 `json:"index_load_ms"`
+	IndexBytes         int     `json:"index_bytes"`
+	LoadVsBuildSpeedup float64 `json:"load_vs_build_speedup"`
 }
 
 // Measure runs the full pipeline (filter + verification) over a sampled
@@ -120,6 +131,22 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 	rep.AvgAllocKBPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / 1024 / n
 	rep.TotalMS = ms(wall)
 	rep.QueriesPerSec = n / wall.Seconds()
+
+	// Save/load round-trip: what a restart pays through the durable store
+	// instead of re-mining + rebuilding.
+	var buf bytes.Buffer
+	start = time.Now()
+	if err := env.Index.Save(&buf); err == nil {
+		rep.IndexSaveMS = ms(time.Since(start))
+		rep.IndexBytes = buf.Len()
+		start = time.Now()
+		if _, err := index.Load(bytes.NewReader(buf.Bytes()), env.Index.Options().Metric); err == nil {
+			rep.IndexLoadMS = ms(time.Since(start))
+			if rep.IndexLoadMS > 0 {
+				rep.LoadVsBuildSpeedup = rep.BuildMS / rep.IndexLoadMS
+			}
+		}
+	}
 	return rep
 }
 

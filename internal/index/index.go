@@ -111,6 +111,9 @@ type Index struct {
 	classes map[string]*Class
 	list    []*Class
 	dbSize  int
+	// fingerprint identifies the exact graph set the index was built
+	// over (graph.Fingerprint); 0 means unknown (legacy v1 streams).
+	fingerprint uint64
 	// memo caches canonical skeleton codes so structurally identical
 	// fragments — the overwhelming majority of enumerated fragments — are
 	// canonicalized once, at build time and at query time alike.
@@ -125,6 +128,19 @@ func (x *Index) Lookup(key string) *Class { return x.classes[key] }
 
 // DBSize returns the number of graphs the index was built over.
 func (x *Index) DBSize() int { return x.dbSize }
+
+// Fingerprint returns the fingerprint of the graph set the index was
+// built over, or 0 when unknown (an index loaded from a legacy stream).
+func (x *Index) Fingerprint() uint64 { return x.fingerprint }
+
+// AdoptFingerprint records fp as the index's database fingerprint if it
+// has none. Used when a legacy fingerprint-less stream is attached to a
+// verified graph set, so the next Save writes a protected stream.
+func (x *Index) AdoptFingerprint(fp uint64) {
+	if x.fingerprint == 0 {
+		x.fingerprint = fp
+	}
+}
 
 // Options returns the construction options.
 func (x *Index) Options() Options { return x.opts }
@@ -152,10 +168,11 @@ func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, 
 	}
 
 	x := &Index{
-		opts:    opts,
-		classes: make(map[string]*Class, len(features)),
-		dbSize:  len(db),
-		memo:    canon.NewMemo(),
+		opts:        opts,
+		classes:     make(map[string]*Class, len(features)),
+		dbSize:      len(db),
+		fingerprint: graph.Fingerprint(db),
+		memo:        canon.NewMemo(),
 	}
 	for _, f := range features {
 		if f.Edges > opts.MaxFragmentEdges {

@@ -38,6 +38,7 @@ func BuildParallel(db []*graph.Graph, features []mining.Feature, opts Options, w
 		return nil, err
 	}
 	x.dbSize = len(db)
+	x.fingerprint = graph.Fingerprint(db)
 
 	type result struct {
 		id  int32

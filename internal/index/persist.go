@@ -1,27 +1,49 @@
 // Index persistence. The expensive part of PIS is enumerating and
 // canonicalizing every database fragment; Save captures the result so a
-// process restart costs a deserialize instead of a rebuild. The format is
-// a gob stream of plain data-transfer structs (stdlib only); automorphism
-// permutations and the bulk-loaded R-tree/VP-tree shapes are cheap to
-// recompute and are rebuilt on Load.
+// process restart costs a deserialize instead of a rebuild.
+//
+// The current format ("PISIDX2\n") is a compact length-prefixed binary
+// stream: a header section followed by one section per class, each a
+// CRC32-checksummed binio section with posting lists and stored
+// sequences laid out as flat little-endian slabs. The header embeds the
+// fingerprint of the exact graph set the index was built over, so
+// loading an index against a different database fails loudly instead of
+// silently returning wrong answers. Automorphism permutations and the
+// bulk-loaded R-tree/VP-tree shapes are cheap to recompute and are
+// rebuilt on Load.
+//
+// The previous format — a gob stream magic-tagged "PIS-INDEX-v1" — is
+// still readable for one release: Load detects it by its leading bytes
+// and decodes it without a fingerprint (FromIndex adoption fills one
+// in), so existing index files migrate via a checkpoint instead of a
+// forced re-mine. Save always writes v2.
 
 package index
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"pis/internal/binio"
 	"pis/internal/canon"
 	"pis/internal/distance"
+	"pis/internal/graph"
 	"pis/internal/rtree"
 	"pis/internal/trie"
 )
 
-// persistMagic identifies the stream and its schema version.
-const persistMagic = "PIS-INDEX-v1"
+// persistMagicV1 identified the legacy gob stream.
+const persistMagicV1 = "PIS-INDEX-v1"
 
-// dto types: exported fields only, no behavior.
+// persistMagicV2 leads the binary stream; 8 bytes, checked verbatim.
+const persistMagicV2 = "PISIDX2\n"
+
+// dto types: exported fields only, no behavior. Both the v1 gob decoder
+// and the v2 section decoder produce these; one reconstruction path
+// builds the live Index from them.
 type persistEntry struct {
 	Seq    []uint32  // trie / vptree sequence
 	Point  []float64 // rtree vector
@@ -43,55 +65,82 @@ type persistIndex struct {
 	MaxFragmentEdges int
 	DBSize           int
 	VertexBlind      bool
+	Fingerprint      uint64 // absent from v1 streams: decodes as 0
 	Classes          []persistClass
 }
 
-// Save writes the index to w. The metric itself is not serialized — the
-// caller supplies an equivalent metric to Load — but its vertex-blindness
-// is recorded and checked, since it changes the stored sequence layout.
+// Save writes the index to w in the v2 binary format. The metric itself
+// is not serialized — the caller supplies an equivalent metric to Load —
+// but its vertex-blindness is recorded and checked, since it changes the
+// stored sequence layout.
 func (x *Index) Save(w io.Writer) error {
-	p := persistIndex{
-		Magic:            persistMagic,
-		Kind:             int(x.opts.Kind),
-		MaxFragmentEdges: x.opts.MaxFragmentEdges,
-		DBSize:           x.dbSize,
-		VertexBlind:      distance.IgnoresVertices(x.opts.Metric),
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagicV2); err != nil {
+		return err
 	}
+	sw := binio.NewSectionWriter(bw)
+
+	sw.Begin()
+	sw.U8(byte(x.opts.Kind))
+	vb := byte(0)
+	if distance.IgnoresVertices(x.opts.Metric) {
+		vb = 1
+	}
+	sw.U8(vb)
+	sw.Uvarint(uint64(x.opts.MaxFragmentEdges))
+	sw.Uvarint(uint64(x.dbSize))
+	sw.U64(x.fingerprint)
+	sw.Uvarint(uint64(len(x.list)))
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+
 	for _, c := range x.list {
-		pc := persistClass{
-			Key:       c.Key,
-			Code:      c.Code,
-			VOff:      c.vOff,
-			Postings:  c.postings,
-			Fragments: c.fragments,
+		sw.Begin()
+		sw.Uvarint(uint64(len(c.Code)))
+		for _, t := range c.Code {
+			sw.Varint(int64(t.I))
+			sw.Varint(int64(t.J))
+			sw.Uvarint(uint64(t.LI))
+			sw.Uvarint(uint64(t.LE))
+			sw.Uvarint(uint64(t.LJ))
 		}
+		sw.Uvarint(uint64(c.vOff))
+		sw.Uvarint(uint64(c.fragments))
+		sw.Uvarint(uint64(len(c.postings)))
+		sw.I32Slab(c.postings)
 		switch x.opts.Kind {
 		case TrieIndex:
+			// Count first: walk once for the count, once for the payload.
+			n := 0
+			c.trie.Walk(func([]uint32, []int32) { n++ })
+			sw.Uvarint(uint64(n))
 			c.trie.Walk(func(seq []uint32, graphs []int32) {
-				pc.Entries = append(pc.Entries, persistEntry{
-					Seq:    append([]uint32(nil), seq...),
-					Graphs: graphs,
-				})
+				sw.U32Slab(seq)
+				sw.Uvarint(uint64(len(graphs)))
+				sw.I32Slab(graphs)
 			})
 		case VPTreeIndex:
+			sw.Uvarint(uint64(len(c.vpSeq)))
 			for i, seq := range c.vpSeq {
-				pc.Entries = append(pc.Entries, persistEntry{
-					Seq:    seq,
-					Graphs: []int32{c.vpIDs[i]},
-				})
+				sw.U32Slab(seq)
+				sw.U32(uint32(c.vpIDs[i]))
 			}
 		case RTreeIndex:
+			n := 0
+			c.rt.SearchRect(boundAll(c.rt.Dim()), func(rtree.Entry) bool { n++; return true })
+			sw.Uvarint(uint64(n))
 			c.rt.SearchRect(boundAll(c.rt.Dim()), func(e rtree.Entry) bool {
-				pc.Entries = append(pc.Entries, persistEntry{
-					Point:  e.Point,
-					Graphs: []int32{e.Data},
-				})
+				sw.F64Slab(e.Point)
+				sw.U32(uint32(e.Data))
 				return true
 			})
 		}
-		p.Classes = append(p.Classes, pc)
+		if err := sw.Flush(); err != nil {
+			return err
+		}
 	}
-	return gob.NewEncoder(w).Encode(p)
+	return bw.Flush()
 }
 
 func boundAll(dim int) rtree.Rect {
@@ -104,19 +153,105 @@ func boundAll(dim int) rtree.Rect {
 	return rtree.Rect{Min: min, Max: max}
 }
 
-// Load reconstructs an index written by Save. The metric must match the
-// one used at build time (at minimum its vertex-blindness must agree).
+// Load reconstructs an index written by Save, current or legacy format.
+// The metric must match the one used at build time (at minimum its
+// vertex-blindness must agree). The returned index carries the stream's
+// database fingerprint (zero for legacy v1 streams, which predate it);
+// callers attach the index to a graph set via segment.FromIndex, which
+// verifies the fingerprint against the actual graphs.
 func Load(r io.Reader, metric distance.Metric) (*Index, error) {
 	if metric == nil {
 		return nil, fmt.Errorf("index: Metric is required")
 	}
-	var p persistIndex
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("index: decoding: %w", err)
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(persistMagicV2))
+	if err == nil && bytes.Equal(head, []byte(persistMagicV2)) {
+		br.Discard(len(persistMagicV2))
+		return loadV2(br, metric)
 	}
-	if p.Magic != persistMagic {
+	// Not the v2 magic: try the legacy gob stream, whose own magic field
+	// rejects arbitrary garbage.
+	var p persistIndex
+	if err := gob.NewDecoder(br).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: not a PIS index stream: %w", err)
+	}
+	if p.Magic != persistMagicV1 {
 		return nil, fmt.Errorf("index: not a PIS index stream (magic %q)", p.Magic)
 	}
+	p.Fingerprint = 0 // v1 predates fingerprints even if a forged field decoded
+	return fromDTO(&p, metric)
+}
+
+// loadV2 decodes the binary section stream after the magic.
+func loadV2(r io.Reader, metric distance.Metric) (*Index, error) {
+	sr := binio.NewSectionReader(r)
+	if err := sr.Next(); err != nil {
+		return nil, fmt.Errorf("index: header: %w", err)
+	}
+	p := persistIndex{Magic: persistMagicV2}
+	p.Kind = int(sr.U8())
+	vertexBlind := sr.U8()
+	p.MaxFragmentEdges = int(sr.Uvarint())
+	p.DBSize = int(sr.Uvarint())
+	p.Fingerprint = sr.U64()
+	nClasses := int(sr.Uvarint())
+	if err := sr.Err(); err != nil {
+		return nil, fmt.Errorf("index: header: %w", err)
+	}
+	p.VertexBlind = vertexBlind != 0
+	p.Classes = make([]persistClass, 0, nClasses)
+	for ci := 0; ci < nClasses; ci++ {
+		if err := sr.Next(); err != nil {
+			return nil, fmt.Errorf("index: class %d/%d: %w", ci, nClasses, err)
+		}
+		var pc persistClass
+		codeLen := sr.Count(2, "code")
+		pc.Code = make([]canon.Tuple, codeLen)
+		for i := range pc.Code {
+			pc.Code[i] = canon.Tuple{
+				I:  int32(sr.Varint()),
+				J:  int32(sr.Varint()),
+				LI: graph.VLabel(sr.Uvarint()),
+				LE: graph.ELabel(sr.Uvarint()),
+				LJ: graph.VLabel(sr.Uvarint()),
+			}
+		}
+		pc.VOff = int(sr.Uvarint())
+		pc.Fragments = int(sr.Uvarint())
+		pc.Postings = sr.I32Slab(sr.Count(4, "postings"))
+		nEntries := sr.Count(1, "entries")
+		pc.Entries = make([]persistEntry, 0, nEntries)
+		code := canon.Code(pc.Code)
+		seqLen := pc.VOff + len(pc.Code) // vOff + edge count
+		for i := 0; i < nEntries; i++ {
+			var e persistEntry
+			switch Kind(p.Kind) {
+			case TrieIndex:
+				e.Seq = sr.U32Slab(seqLen)
+				e.Graphs = sr.I32Slab(sr.Count(4, "entry postings"))
+			case VPTreeIndex:
+				e.Seq = sr.U32Slab(seqLen)
+				e.Graphs = []int32{int32(sr.U32())}
+			case RTreeIndex:
+				e.Point = sr.F64Slab(seqLen)
+				e.Graphs = []int32{int32(sr.U32())}
+			default:
+				return nil, fmt.Errorf("index: unknown kind %d", p.Kind)
+			}
+			pc.Entries = append(pc.Entries, e)
+		}
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("index: class %d/%d: %w", ci, nClasses, err)
+		}
+		pc.Key = code.Key()
+		p.Classes = append(p.Classes, pc)
+	}
+	return fromDTO(&p, metric)
+}
+
+// fromDTO builds the live index from decoded persistence structs,
+// rebuilding automorphism permutations and bulk-loaded per-class trees.
+func fromDTO(p *persistIndex, metric distance.Metric) (*Index, error) {
 	if p.VertexBlind != distance.IgnoresVertices(metric) {
 		return nil, fmt.Errorf("index: metric vertex-blindness disagrees with the saved index")
 	}
@@ -126,9 +261,10 @@ func Load(r io.Reader, metric distance.Metric) (*Index, error) {
 			Metric:           metric,
 			MaxFragmentEdges: p.MaxFragmentEdges,
 		},
-		classes: make(map[string]*Class, len(p.Classes)),
-		dbSize:  p.DBSize,
-		memo:    canon.NewMemo(),
+		classes:     make(map[string]*Class, len(p.Classes)),
+		dbSize:      p.DBSize,
+		fingerprint: p.Fingerprint,
+		memo:        canon.NewMemo(),
 	}
 	for _, pc := range p.Classes {
 		code := canon.Code(pc.Code)

@@ -17,19 +17,34 @@
 // to ids across compactions. Reads take a consistent snapshot (searcher,
 // delta, tombstones) under a short lock and then run lock-free, giving
 // per-request snapshot semantics under concurrent mutation.
+//
+// A segment is optionally durable: NewDurable and OpenDurable attach a
+// store.Store, after which every Insert and Delete is written to the
+// store's WAL and fsync'd before it is applied or acknowledged, Compact
+// and Checkpoint write atomic snapshots, and OpenDurable rebuilds the
+// exact pre-crash live state from the newest snapshot plus the valid WAL
+// prefix. A non-durable segment (New, FromIndex) behaves as before.
 package segment
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pis/internal/core"
 	"pis/internal/graph"
 	"pis/internal/index"
 	"pis/internal/mining"
+	"pis/internal/store"
 )
+
+// ErrNotDurable reports a durability operation on a segment that has no
+// backing store.
+var ErrNotDurable = errors.New("segment: no backing store (database was not opened from a data directory)")
 
 // Config carries everything a segment needs to (re)build its index.
 type Config struct {
@@ -73,6 +88,23 @@ type Segment struct {
 	// tombs marks deleted local ids (base positions, then len(base)+delta
 	// positions); copy-on-write so snapshots stay consistent.
 	tombs *index.Tombstones
+	// maxID is the largest global id ever assigned through this segment;
+	// persisted at checkpoints so ids are never reused after a restart,
+	// even when their graphs were deleted and compacted away.
+	maxID int32
+	// nlive mirrors base+delta-tombstones so Live() never contends with
+	// mu — insert routing must stay cheap even while another insert is
+	// inside a WAL fsync under the write lock. Compaction never changes
+	// liveness, so only Insert and Delete touch it.
+	nlive atomic.Int32
+	// insMu serializes inserts into this segment, separately from mu, so
+	// a multi-segment owner can (a) hold it across its routing lock to
+	// pin id order to append order and (b) probe it with TryReserve to
+	// route around a segment busy with a WAL fsync or compaction. Lock
+	// order: insMu before mu; nothing acquires insMu while holding mu.
+	insMu sync.Mutex
+	// st is the durable backing store; nil for an in-memory segment.
+	st *store.Store
 }
 
 // New mines features over graphs and builds an indexed segment whose
@@ -90,12 +122,129 @@ func New(graphs []*graph.Graph, startID int32, cfg Config) (*Segment, error) {
 
 // FromIndex wraps a pre-built index (for example one loaded from disk)
 // over graphs with global ids startID, startID+1, .... The index must
-// have been built over exactly these graphs in this order.
+// have been built over exactly these graphs in this order: the count and
+// the graph-set fingerprint are both verified, so an index stream paired
+// with the wrong database fails here with a descriptive error instead of
+// silently returning wrong answers. A legacy fingerprint-less index
+// (v1 stream) passes the count check only and adopts the fingerprint of
+// the graphs it is attached to.
 func FromIndex(graphs []*graph.Graph, startID int32, idx *index.Index, cfg Config) (*Segment, error) {
 	if idx.DBSize() != len(graphs) {
 		return nil, fmt.Errorf("segment: index covers %d graphs, slice has %d", idx.DBSize(), len(graphs))
 	}
+	fp := graph.Fingerprint(graphs)
+	if have := idx.Fingerprint(); have != 0 && have != fp {
+		return nil, fmt.Errorf("segment: index was built over a different graph set (index fingerprint %016x, graphs hash to %016x); rebuild or load the matching database", have, fp)
+	}
+	idx.AdoptFingerprint(fp)
 	return fromIndex(graphs, sequentialIDs(startID, len(graphs)), idx, cfg), nil
+}
+
+// NewDurable builds an indexed segment over graphs exactly like New and
+// roots it in the store directory dir: the initial snapshot is written
+// before NewDurable returns, and every later mutation is WAL-logged.
+func NewDurable(dir string, graphs []*graph.Graph, startID int32, cfg Config) (*Segment, error) {
+	s, err := New(graphs, startID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Persist(dir); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Persist attaches a new backing store at dir to an in-memory segment,
+// writing its full current state (index included, no rebuild) as the
+// initial snapshot. Afterwards the segment is durable: mutations are
+// WAL-logged and OpenDurable recovers it. This is also the migration
+// path for legacy index files: load them the old way, then Persist.
+func (s *Segment) Persist(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		return fmt.Errorf("segment: already durable (store at %s)", s.st.Dir())
+	}
+	st, err := store.Create(dir)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteSnapshot(s.snapshotStateLocked()); err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+// AbandonStore detaches the backing store and deletes its directory,
+// returning the segment to in-memory operation. A multi-segment Persist
+// uses it to roll back the shards that succeeded when a sibling failed,
+// so the database is never left half-durable (some shards fsync'ing
+// into stores that no root manifest will ever point at).
+func (s *Segment) AbandonStore() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return
+	}
+	dir := s.st.Dir()
+	s.st.Close()
+	s.st = nil
+	os.RemoveAll(dir)
+}
+
+// OpenDurable recovers a segment from its store directory: the newest
+// valid snapshot is loaded (index fingerprint verified against the
+// recovered graphs) and the WAL's valid prefix is replayed — inserts
+// land in the delta, deletes become tombstones — reproducing the exact
+// acknowledged pre-crash state. A torn WAL tail is dropped and reported
+// in StoreStats().Recovery.
+func OpenDurable(dir string, cfg Config) (*Segment, error) {
+	st, snap, recs, err := store.Open(dir, cfg.Index.Metric)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Index.DBSize() != len(snap.Base) {
+		st.Close()
+		return nil, fmt.Errorf("segment: snapshot index covers %d graphs, snapshot has %d", snap.Index.DBSize(), len(snap.Base))
+	}
+	if fp := graph.Fingerprint(snap.Base); snap.Index.Fingerprint() != fp {
+		st.Close()
+		return nil, fmt.Errorf("segment: snapshot index fingerprint %016x does not match its graphs (%016x)", snap.Index.Fingerprint(), fp)
+	}
+	s := fromIndex(snap.Base, snap.BaseIDs, snap.Index, cfg)
+	s.delta = snap.Delta
+	s.deltaIDs = snap.DeltaIDs
+	if snap.NextID-1 > s.maxID {
+		s.maxID = snap.NextID - 1
+	}
+	for _, id := range snap.DeltaIDs {
+		if id > s.maxID {
+			s.maxID = id
+		}
+	}
+	for _, gid := range snap.Tombs {
+		if local, ok := s.localOf(gid); ok {
+			s.tombs = s.tombs.WithSet(local)
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case store.OpInsert:
+			s.delta = append(s.delta, rec.Graph)
+			s.deltaIDs = append(s.deltaIDs, rec.ID)
+			if rec.ID > s.maxID {
+				s.maxID = rec.ID
+			}
+		case store.OpDelete:
+			if local, ok := s.localOf(rec.ID); ok {
+				s.tombs = s.tombs.WithSet(local)
+			}
+		}
+	}
+	s.nlive.Store(int32(len(s.base) + len(s.delta) - s.tombs.Count()))
+	s.st = st
+	return s, nil
 }
 
 func sequentialIDs(start int32, n int) []int32 {
@@ -122,14 +271,21 @@ func build(graphs []*graph.Graph, cfg Config) ([]*graph.Graph, *index.Index, err
 }
 
 func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) *Segment {
-	return &Segment{
-		cfg:  cfg,
-		base: base,
-		ids:  ids,
-		idx:  idx,
-		srch: core.NewSearcher(base, idx, cfg.Core),
-		knn:  core.NewSearcher(base, idx, cfg.KNNCore),
+	maxID := int32(-1)
+	if len(ids) > 0 {
+		maxID = ids[len(ids)-1] // ids are ascending
 	}
+	s := &Segment{
+		cfg:   cfg,
+		base:  base,
+		ids:   ids,
+		idx:   idx,
+		srch:  core.NewSearcher(base, idx, cfg.Core),
+		knn:   core.NewSearcher(base, idx, cfg.KNNCore),
+		maxID: maxID,
+	}
+	s.nlive.Store(int32(len(base)))
+	return s
 }
 
 // snapshot is one consistent read view: taken under RLock, used lock-free.
@@ -210,31 +366,70 @@ func (s *Segment) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64)
 }
 
 // Insert appends g to the delta under the caller-assigned global id,
-// which must exceed every id previously given to this segment. The
-// append is O(1); Insert reports whether the delta has outgrown
-// CompactFraction of the base, in which case the caller should run
-// Compact — outside whatever lock serialized its id assignment, so a
+// which must exceed every id previously given to this segment. On a
+// durable segment the insert is WAL-logged and fsync'd first; a logging
+// error rejects the mutation entirely (memory and disk stay in
+// agreement) and is returned. Insert reports whether the delta has
+// outgrown CompactFraction of the base, in which case the caller should
+// run Compact — outside whatever lock serialized its id assignment, so a
 // rebuild never stalls inserts to other segments.
-func (s *Segment) Insert(g *graph.Graph, id int32) (needsCompact bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.delta = append(s.delta, g)
-	s.deltaIDs = append(s.deltaIDs, id)
-	f := s.cfg.CompactFraction
-	return f > 0 && float64(len(s.delta)) > f*float64(len(s.base))
+func (s *Segment) Insert(g *graph.Graph, id int32) (needsCompact bool, err error) {
+	s.Reserve()
+	return s.CommitInsert(g, id)
 }
 
-// Delete tombstones the graph with the given global id. It reports
-// whether the id was present and live.
-func (s *Segment) Delete(id int32) bool {
+// Reserve locks the segment's insert slot, so a multi-segment owner can
+// fix the insert's global id under its own routing lock, release that
+// lock, and then run the (fsync-bearing) CommitInsert without stalling
+// inserts routed to other segments. Every Reserve must be followed by
+// exactly one CommitInsert.
+func (s *Segment) Reserve() { s.insMu.Lock() }
+
+// TryReserve is Reserve if the insert slot is immediately free. A false
+// return means another insert is mid-commit here — possibly waiting out
+// a compaction — and the caller should route elsewhere.
+func (s *Segment) TryReserve() bool { return s.insMu.TryLock() }
+
+// CommitInsert completes an insert begun with Reserve; see Insert for
+// the semantics.
+func (s *Segment) CommitInsert(g *graph.Graph, id int32) (needsCompact bool, err error) {
+	defer s.insMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		if err := s.st.AppendInsert(id, g); err != nil {
+			return false, err
+		}
+	}
+	s.delta = append(s.delta, g)
+	s.deltaIDs = append(s.deltaIDs, id)
+	if id > s.maxID {
+		s.maxID = id
+	}
+	s.nlive.Add(1)
+	f := s.cfg.CompactFraction
+	return f > 0 && float64(len(s.delta)) > f*float64(len(s.base)), nil
+}
+
+// Delete tombstones the graph with the given global id, reporting
+// whether the id was present and live. On a durable segment a live
+// delete is WAL-logged and fsync'd before it is applied; a logging error
+// leaves the graph live and is returned.
+func (s *Segment) Delete(id int32) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	local, ok := s.localOf(id)
 	if !ok || s.tombs.Has(local) {
-		return false
+		return false, nil
+	}
+	if s.st != nil {
+		if err := s.st.AppendDelete(id); err != nil {
+			return false, err
+		}
 	}
 	s.tombs = s.tombs.WithSet(local)
-	return true
+	s.nlive.Add(-1)
+	return true, nil
 }
 
 // localOf resolves a global id to the segment-local id, by binary search
@@ -252,10 +447,92 @@ func (s *Segment) localOf(id int32) (int32, bool) {
 // Compact folds the delta and tombstones into a freshly mined and built
 // index over the surviving graphs. On error the segment is unchanged and
 // still serves correctly. Compacting an unmutated segment is a no-op.
+//
+// On a durable segment a successful compaction also writes a fresh
+// snapshot and truncates the WAL. If the snapshot write fails the error
+// is returned but the segment stays fully consistent: the in-memory
+// compaction stands, and the previous on-disk snapshot+WAL pair replays
+// to the same live graph set (compaction never changes contents, only
+// representation), so a crash before the next checkpoint loses nothing.
 func (s *Segment) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked()
+	mutated := len(s.delta) > 0 || s.tombs.Count() > 0
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	if s.st != nil && mutated {
+		if err := s.st.WriteSnapshot(s.snapshotStateLocked()); err != nil {
+			return fmt.Errorf("segment: compacted in memory but snapshot failed (previous on-disk state still recovers correctly): %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes the current state — base index, delta, tombstones —
+// as a fresh atomic snapshot and truncates the WAL, without rebuilding
+// the index. Restart cost drops to a load + empty replay; answers are
+// unchanged.
+func (s *Segment) Checkpoint() error {
+	if s.st == nil {
+		return ErrNotDurable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.WriteSnapshot(s.snapshotStateLocked())
+}
+
+// Durable reports whether the segment has a backing store.
+func (s *Segment) Durable() bool { return s.st != nil }
+
+// StoreStats returns the backing store's durability counters; ok is
+// false for an in-memory segment.
+func (s *Segment) StoreStats() (st store.Stats, ok bool) {
+	if s.st == nil {
+		return store.Stats{}, false
+	}
+	return s.st.Stats(), true
+}
+
+// MaxID returns the largest global id ever assigned through this
+// segment (-1 when none), so an owner can restore its id counter after
+// recovery without risking reuse.
+func (s *Segment) MaxID() int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxID
+}
+
+// Close releases the backing store (no-op for in-memory segments). The
+// segment keeps answering queries; further mutations fail.
+func (s *Segment) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Close()
+}
+
+// snapshotStateLocked captures the full durable state; callers hold mu.
+func (s *Segment) snapshotStateLocked() *store.Snapshot {
+	snap := &store.Snapshot{
+		NextID:   s.maxID + 1,
+		Base:     s.base,
+		BaseIDs:  s.ids,
+		Index:    s.idx,
+		Delta:    s.delta,
+		DeltaIDs: s.deltaIDs,
+	}
+	for i, id := range s.ids {
+		if s.tombs.Has(int32(i)) {
+			snap.Tombs = append(snap.Tombs, id)
+		}
+	}
+	for i, id := range s.deltaIDs {
+		if s.tombs.Has(int32(len(s.base) + i)) {
+			snap.Tombs = append(snap.Tombs, id)
+		}
+	}
+	return snap
 }
 
 func (s *Segment) compactLocked() error {
@@ -294,12 +571,10 @@ func (s *Segment) compactLocked() error {
 	return nil
 }
 
-// Live returns the number of live (non-tombstoned) graphs.
-func (s *Segment) Live() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.base) + len(s.delta) - s.tombs.Count()
-}
+// Live returns the number of live (non-tombstoned) graphs. It reads an
+// atomic counter, never the segment lock, so insert routing across
+// segments is not blocked by a WAL fsync in progress on this one.
+func (s *Segment) Live() int { return int(s.nlive.Load()) }
 
 // DeltaLen returns the number of unindexed delta graphs (including
 // tombstoned ones; they vanish at the next compaction).

@@ -26,6 +26,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"slices"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"pis/internal/index"
 	"pis/internal/mining"
 	"pis/internal/segment"
+	"pis/internal/store"
 )
 
 // Config carries the per-shard build parameters. The caller (pis.NewSharded)
@@ -155,6 +157,183 @@ func New(graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
 	return &DB{segs: segs, nextID: int32(len(graphs))}, nil
 }
 
+// NewDurable builds a sharded database like New and roots it at dir via
+// Persist: a root MANIFEST records the shard layout and every shard gets
+// its own segment store (snapshot + WAL) under a shard subdirectory.
+func NewDurable(dir string, graphs []*graph.Graph, nShards int, cfg Config) (*DB, error) {
+	d, err := New(graphs, nShards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Persist(dir); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Persist attaches backing stores at dir to an in-memory database,
+// writing every shard's full current state (indexes included, no
+// rebuild) as initial snapshots, in parallel. This is the migration path
+// for legacy per-shard index files: Load them, then Persist.
+//
+// The root MANIFEST is written last, only after every shard store is
+// fully established: a crash or error mid-Persist leaves no root
+// manifest, so the directory still reads as "no store" and the next
+// start rebuilds (leftover shard directories from such an aborted
+// attempt are cleared here first) instead of wedging on a manifest that
+// points at missing shards.
+func (d *DB) Persist(dir string) error {
+	if d.Durable() {
+		return fmt.Errorf("shard: database is already durable")
+	}
+	if store.RootExists(dir) {
+		return fmt.Errorf("shard: %s already holds a database store", dir)
+	}
+	errs := make([]error, len(d.segs))
+	var wg sync.WaitGroup
+	for i, seg := range d.segs {
+		wg.Add(1)
+		go func(i int, seg *segment.Segment) {
+			defer wg.Done()
+			// No root manifest + an existing shard store = debris from a
+			// crashed earlier Persist; clear it so Create succeeds.
+			sd := store.ShardDir(dir, i)
+			if store.Exists(sd) {
+				if errs[i] = os.RemoveAll(sd); errs[i] != nil {
+					return
+				}
+			}
+			errs[i] = seg.Persist(sd)
+		}(i, seg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Roll the successful shards back to in-memory: a half-durable
+			// database would fsync mutations into stores no root manifest
+			// will ever name, and a Persist retry would be rejected.
+			for _, seg := range d.segs {
+				seg.AbandonStore()
+			}
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if err := store.WriteRootManifest(dir, len(d.segs)); err != nil {
+		for _, seg := range d.segs {
+			seg.AbandonStore()
+		}
+		return err
+	}
+	return nil
+}
+
+// Open recovers a sharded database from its store directory: the root
+// MANIFEST fixes the shard count, each shard recovers from its own
+// snapshot + WAL in parallel, and the global id counter resumes past
+// every id ever assigned, so recovered databases never reuse ids.
+func Open(dir string, cfg Config) (*DB, error) {
+	nShards, err := store.ReadRootManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	scfg := cfg.segmentConfig(nShards)
+	segs := make([]*segment.Segment, nShards)
+	errs := make([]error, nShards)
+	var wg sync.WaitGroup
+	for i := range segs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			segs[i], errs[i] = segment.OpenDurable(store.ShardDir(dir, i), scfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, seg := range segs {
+				if seg != nil {
+					seg.Close()
+				}
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	nextID := int32(0)
+	for _, seg := range segs {
+		if id := seg.MaxID() + 1; id > nextID {
+			nextID = id
+		}
+	}
+	return &DB{segs: segs, nextID: nextID}, nil
+}
+
+// Checkpoint writes every shard's current state as a fresh snapshot and
+// truncates its WAL, in parallel. ErrNotDurable is returned for an
+// in-memory database.
+func (d *DB) Checkpoint() error {
+	if !d.Durable() {
+		return segment.ErrNotDurable
+	}
+	errs := make([]error, len(d.segs))
+	var wg sync.WaitGroup
+	for i, seg := range d.segs {
+		wg.Add(1)
+		go func(i int, seg *segment.Segment) {
+			defer wg.Done()
+			errs[i] = seg.Checkpoint()
+		}(i, seg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Durable reports whether the database has a backing store.
+func (d *DB) Durable() bool { return d.segs[0].Durable() }
+
+// StoreStats aggregates the per-shard durability counters; ok is false
+// for an in-memory database. Recovery counters sum across shards; the
+// snapshot sequence and last-checkpoint time report the oldest shard,
+// the conservative answer to "how stale could recovery be".
+func (d *DB) StoreStats() (agg store.Stats, ok bool) {
+	for i, seg := range d.segs {
+		s, sok := seg.StoreStats()
+		if !sok {
+			return store.Stats{}, false
+		}
+		agg.WALRecords += s.WALRecords
+		agg.WALBytes += s.WALBytes
+		agg.Checkpoints += s.Checkpoints
+		agg.Recovery.ReplayedRecords += s.Recovery.ReplayedRecords
+		agg.Recovery.DroppedBytes += s.Recovery.DroppedBytes
+		if i == 0 || s.SnapshotSeq < agg.SnapshotSeq {
+			agg.SnapshotSeq = s.SnapshotSeq
+		}
+		if i == 0 || s.LastCheckpoint.Before(agg.LastCheckpoint) {
+			agg.LastCheckpoint = s.LastCheckpoint
+		}
+		if i == 0 || s.Recovery.SnapshotSeq < agg.Recovery.SnapshotSeq {
+			agg.Recovery.SnapshotSeq = s.Recovery.SnapshotSeq
+		}
+	}
+	return agg, true
+}
+
+// Close releases every shard's backing store.
+func (d *DB) Close() error {
+	var first error
+	for _, seg := range d.segs {
+		if err := seg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Load reconstructs a sharded database from one index stream per shard,
 // written by SaveShard in shard order. The shard layout is recomputed with
 // Split(len(graphs), len(readers)) and each stream's recorded size must
@@ -225,39 +404,82 @@ func (d *DB) Graph(id int32) *graph.Graph {
 }
 
 // Insert appends g to the shard with the fewest live graphs and returns
-// its stable global id. A non-nil error reports a failed automatic
-// compaction; the graph is inserted and searchable either way.
+// its stable global id. On a durable database the insert is WAL-logged
+// and fsync'd before it is acknowledged; a logging failure rejects the
+// mutation (nothing searchable, the reserved id is burned and never
+// observable) and returns the error with id -1. Otherwise a non-nil
+// error reports a failed automatic compaction; the graph is inserted
+// and searchable either way.
+//
+// d.mu covers only routing and id assignment: the target segment's
+// insert slot is claimed (Reserve) before d.mu is released — so
+// per-segment id order and append order agree even when inserts race —
+// and the WAL append+fsync then runs outside d.mu, under the segment's
+// own locks. Routing probes slots with TryReserve in ascending
+// live-count order, so a shard tied up in an fsync or a compaction is
+// simply skipped for the next-smallest one; d.mu blocks only when every
+// shard has an insert in flight, in which case waiting on the smallest
+// is the only option anyway.
 func (d *DB) Insert(g *graph.Graph) (int32, error) {
 	d.mu.Lock()
-	best := 0
-	for i := 1; i < len(d.segs); i++ {
-		if d.segs[i].Live() < d.segs[best].Live() {
-			best = i
+	var seg *segment.Segment
+	// Probe shards smallest-first without sorting: scan for the minimum
+	// among the not-yet-probed, up to len(d.segs) times.
+	probed := make([]bool, len(d.segs))
+	for range d.segs {
+		best := -1
+		for i, s := range d.segs {
+			if probed[i] {
+				continue
+			}
+			if best < 0 || s.Live() < d.segs[best].Live() {
+				best = i
+			}
 		}
+		if d.segs[best].TryReserve() {
+			seg = d.segs[best]
+			break
+		}
+		probed[best] = true
+	}
+	if seg == nil {
+		// Every shard has an insert mid-flight; block on the smallest.
+		best := 0
+		for i := 1; i < len(d.segs); i++ {
+			if d.segs[i].Live() < d.segs[best].Live() {
+				best = i
+			}
+		}
+		seg = d.segs[best]
+		seg.Reserve()
 	}
 	id := d.nextID
 	d.nextID++
-	// The O(1) delta append runs under d.mu so per-segment delta ids stay
-	// ascending even when inserts race: id order and append order agree.
-	needsCompact := d.segs[best].Insert(g, id)
 	d.mu.Unlock()
+	needsCompact, err := seg.CommitInsert(g, id)
+	if err != nil {
+		return -1, err
+	}
 	if needsCompact {
 		// Rebuild outside d.mu: a long re-mine on one shard must not stall
 		// inserts routed to the others.
-		return id, d.segs[best].Compact()
+		return id, seg.Compact()
 	}
 	return id, nil
 }
 
 // Delete tombstones the graph with the given global id, reporting
-// whether it was present and live.
-func (d *DB) Delete(id int32) bool {
+// whether it was present and live. On a durable database a live delete
+// is WAL-logged and fsync'd before it is acknowledged; on a logging
+// failure the graph stays live and the error is returned.
+func (d *DB) Delete(id int32) (bool, error) {
 	for _, seg := range d.segs {
-		if seg.Delete(id) {
-			return true
+		ok, err := seg.Delete(id)
+		if ok || err != nil {
+			return ok, err
 		}
 	}
-	return false
+	return false, nil
 }
 
 // Compact folds every shard's delta and tombstones into fresh per-shard

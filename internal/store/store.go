@@ -1,0 +1,664 @@
+// Package store implements the durable storage engine under one mutable
+// database segment: an atomic on-disk snapshot of the segment's full
+// state plus an append-only write-ahead log of the mutations applied
+// since that snapshot was taken.
+//
+// Layout of one segment store directory:
+//
+//	MANIFEST              names the live snapshot/WAL pair (temp+rename)
+//	snap-<seq>.pissnap    snapshot: graphs, base index, tombstones, delta
+//	wal-<seq>             mutation log since snapshot <seq>
+//
+// Every mutation is framed as a length-prefixed, CRC32-checksummed
+// record and fsync'd before the store acknowledges it, so an
+// acknowledged Insert or Delete survives a crash at any instant. A
+// checkpoint writes a fresh snapshot via temp-file-then-rename, creates
+// the paired empty WAL, and only then swings MANIFEST — so recovery
+// always finds a consistent (snapshot, log) pair no matter where the
+// process died. Replay tolerates a torn or corrupted log tail: the valid
+// prefix is applied, the tail is discarded and truncated away, and the
+// loss is reported in RecoveryStats (only a mutation that was never
+// acknowledged can be in the tail).
+//
+// The store knows nothing about searching; the segment package layers
+// the live database on top and the shard package arranges one store per
+// shard under a root directory (WriteRootManifest/ShardDir).
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pis/internal/binio"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/index"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "pis-segment-store v1"
+	snapMagic     = "PISSNAP2"
+
+	// WAL record op codes.
+	OpInsert byte = 1
+	OpDelete byte = 2
+)
+
+// Record is one decoded WAL mutation.
+type Record struct {
+	Op    byte
+	ID    int32
+	Graph *graph.Graph // OpInsert only
+}
+
+// RecordInfo is a Record plus its framing position, for WAL inspection.
+type RecordInfo struct {
+	Record
+	Start, End int64 // byte offsets of the framed record in the log
+}
+
+// Snapshot is the full durable state of one segment at a checkpoint.
+type Snapshot struct {
+	// NextID is the lowest global id never assigned through this segment;
+	// persisted so a crash after deletes and a compaction cannot lead to
+	// id reuse.
+	NextID int32
+	// Base and BaseIDs are the indexed graphs with their global ids.
+	Base    []*graph.Graph
+	BaseIDs []int32
+	// Index is the fragment index over Base.
+	Index *index.Index
+	// Tombs lists tombstoned global ids (base or delta positions).
+	Tombs []int32
+	// Delta and DeltaIDs are inserted, not-yet-indexed graphs.
+	Delta    []*graph.Graph
+	DeltaIDs []int32
+}
+
+// RecoveryStats describes what Open found on disk.
+type RecoveryStats struct {
+	SnapshotSeq     uint64 // sequence number of the snapshot loaded
+	ReplayedRecords int    // valid WAL records applied after the snapshot
+	DroppedBytes    int64  // torn/corrupt WAL tail discarded (0 = clean)
+}
+
+// Stats is the live durability state of one store.
+type Stats struct {
+	WALRecords     int64 // records in the active log (since last snapshot)
+	WALBytes       int64
+	SnapshotSeq    uint64
+	Checkpoints    int64     // snapshots written by this process
+	LastCheckpoint time.Time // zero when no snapshot was written yet
+	Recovery       RecoveryStats
+}
+
+// Store is the durable backing of one segment. Appends and checkpoints
+// are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu             sync.Mutex
+	wal            *os.File
+	walRecords     int64
+	walBytes       int64
+	seq            uint64
+	checkpoints    int64
+	lastCheckpoint time.Time
+	recovery       RecoveryStats
+}
+
+// Exists reports whether dir holds an initialized segment store.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Create prepares dir for a new segment store. The store is not readable
+// until the first WriteSnapshot establishes the initial (snapshot, WAL)
+// pair; a crash before that leaves no MANIFEST, so a later Open fails
+// cleanly and the caller rebuilds.
+func Create(dir string) (*Store, error) {
+	if Exists(dir) {
+		return nil, fmt.Errorf("store: %s already holds a segment store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Open recovers the segment state from dir: the newest valid snapshot
+// plus the decoded valid prefix of its WAL, in append order. A torn or
+// corrupt log tail is truncated away (and reported in Stats().Recovery);
+// the WAL is then reopened for appends, so the store is immediately
+// writable. The metric must match the one the index was built with.
+func Open(dir string, metric distance.Metric) (*Store, *Snapshot, []Record, error) {
+	snapName, walName, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	snap, seq, err := loadSnapshot(filepath.Join(dir, snapName), metric)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: snapshot %s: %w", snapName, err)
+	}
+	walPath := filepath.Join(dir, walName)
+	infos, validLen, err := ScanWAL(walPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: wal %s: %w", walName, err)
+	}
+	st := &Store{dir: dir, seq: seq}
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: wal %s: %w", walName, err)
+	}
+	if dropped := fi.Size() - validLen; dropped > 0 {
+		// Truncate the torn tail so new appends continue from a clean
+		// record boundary.
+		if err := os.Truncate(walPath, validLen); err != nil {
+			return nil, nil, nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+		st.recovery.DroppedBytes = dropped
+	}
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: reopening wal: %w", err)
+	}
+	st.wal = wal
+	st.walRecords = int64(len(infos))
+	st.walBytes = validLen
+	st.recovery.SnapshotSeq = seq
+	st.recovery.ReplayedRecords = len(infos)
+	recs := make([]Record, len(infos))
+	for i, ri := range infos {
+		recs[i] = ri.Record
+	}
+	return st, snap, recs, nil
+}
+
+// Close releases the WAL handle. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the live durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		WALRecords:     s.walRecords,
+		WALBytes:       s.walBytes,
+		SnapshotSeq:    s.seq,
+		Checkpoints:    s.checkpoints,
+		LastCheckpoint: s.lastCheckpoint,
+		Recovery:       s.recovery,
+	}
+}
+
+// AppendInsert durably logs the insertion of g under id: the record is
+// framed, checksummed, written, and fsync'd before AppendInsert returns
+// nil. On error the mutation must not be applied in memory.
+func (s *Store) AppendInsert(id int32, g *graph.Graph) error {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, OpInsert)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(id))
+	payload = g.AppendBinary(payload)
+	return s.append(payload)
+}
+
+// AppendDelete durably logs the deletion of id.
+func (s *Store) AppendDelete(id int32) error {
+	payload := make([]byte, 0, 8)
+	payload = append(payload, OpDelete)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(id))
+	return s.append(payload)
+}
+
+func (s *Store) append(payload []byte) error {
+	rec := make([]byte, 0, len(payload)+8)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: no active WAL (store closed or never checkpointed)")
+	}
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	s.walRecords++
+	s.walBytes += int64(len(rec))
+	return nil
+}
+
+// WriteSnapshot atomically installs snap as the store's durable state
+// and starts a fresh, empty WAL. Ordering: snapshot file (temp, fsync,
+// rename), then its paired empty WAL, then the MANIFEST swing — a crash
+// at any point leaves the previous pair or the new pair intact, never a
+// mix. Old snapshot/WAL files are removed best-effort afterwards.
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.seq + 1
+	snapName := fmt.Sprintf("snap-%06d.pissnap", seq)
+	walName := fmt.Sprintf("wal-%06d", seq)
+	if err := writeFileAtomic(s.dir, snapName, func(w io.Writer) error {
+		return writeSnapshot(w, snap, seq)
+	}); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating wal: %w", err)
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	if err := writeFileAtomic(s.dir, manifestName, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s\nsnapshot %s\nwal %s\n", manifestMagic, snapName, walName)
+		return err
+	}); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	oldSeq := s.seq
+	s.wal = wal
+	s.seq = seq
+	s.walRecords = 0
+	s.walBytes = 0
+	s.checkpoints++
+	s.lastCheckpoint = time.Now()
+	if oldSeq > 0 {
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%06d.pissnap", oldSeq)))
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("wal-%06d", oldSeq)))
+	}
+	return nil
+}
+
+// readManifest parses the MANIFEST, returning the snapshot and WAL names.
+func readManifest(dir string) (snapName, walName string, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return "", "", fmt.Errorf("store: %s is not a segment store: %w", dir, err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 || lines[0] != manifestMagic {
+		return "", "", fmt.Errorf("store: %s: malformed MANIFEST", dir)
+	}
+	for _, ln := range lines[1:] {
+		key, val, ok := strings.Cut(ln, " ")
+		if !ok || strings.ContainsAny(val, "/\\") {
+			return "", "", fmt.Errorf("store: %s: malformed MANIFEST line %q", dir, ln)
+		}
+		switch key {
+		case "snapshot":
+			snapName = val
+		case "wal":
+			walName = val
+		}
+	}
+	if snapName == "" || walName == "" {
+		return "", "", fmt.Errorf("store: %s: MANIFEST names no snapshot/wal pair", dir)
+	}
+	return snapName, walName, nil
+}
+
+// snapChunk bounds one snapshot section payload. Graph sets and index
+// streams larger than this span several sections, each with its own
+// checksum, so a many-gigabyte database stays well under the per-section
+// cap and a checkpoint written is always a checkpoint loadable.
+const snapChunk = 64 << 20
+
+// writeSnapshot serializes snap: magic, then a header section followed
+// by base graphs / index / tombstones / delta graphs, each spread over
+// one or more CRC-checksummed sections (the header carries the counts
+// and the index byte length, so the reader knows where each run ends).
+func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	sw := binio.NewSectionWriter(bw)
+
+	var idx bytes.Buffer
+	if err := snap.Index.Save(&idx); err != nil {
+		return err
+	}
+
+	sw.Begin()
+	sw.U64(seq)
+	sw.U32(uint32(snap.NextID))
+	sw.Uvarint(uint64(len(snap.Base)))
+	sw.Uvarint(uint64(len(snap.Tombs)))
+	sw.Uvarint(uint64(len(snap.Delta)))
+	sw.U64(uint64(idx.Len()))
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+
+	writeGraphs := func(graphs []*graph.Graph, ids []int32) error {
+		sw.Begin()
+		var buf []byte
+		for i, g := range graphs {
+			sw.U32(uint32(ids[i]))
+			buf = g.AppendBinary(buf[:0])
+			sw.Uvarint(uint64(len(buf)))
+			sw.Bytes(buf)
+			if sw.Len() >= snapChunk && i+1 < len(graphs) {
+				if err := sw.Flush(); err != nil {
+					return err
+				}
+				sw.Begin()
+			}
+		}
+		return sw.Flush()
+	}
+	if err := writeGraphs(snap.Base, snap.BaseIDs); err != nil {
+		return err
+	}
+
+	for b := idx.Bytes(); ; {
+		chunk := b
+		if len(chunk) > snapChunk {
+			chunk = b[:snapChunk]
+		}
+		sw.Begin()
+		sw.Bytes(chunk)
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+		b = b[len(chunk):]
+		if len(b) == 0 {
+			break
+		}
+	}
+
+	sw.Begin()
+	sw.I32Slab(snap.Tombs)
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+
+	if err := writeGraphs(snap.Delta, snap.DeltaIDs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// loadSnapshot reads and verifies one snapshot file.
+func loadSnapshot(path string, metric distance.Metric) (*Snapshot, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapMagic {
+		return nil, 0, fmt.Errorf("not a PIS snapshot (magic %q)", magic)
+	}
+	sr := binio.NewSectionReader(br)
+	if err := sr.Next(); err != nil {
+		return nil, 0, fmt.Errorf("header: %w", err)
+	}
+	seq := sr.U64()
+	snap := &Snapshot{NextID: int32(sr.U32())}
+	nBase := int(sr.Uvarint())
+	nTombs := int(sr.Uvarint())
+	nDelta := int(sr.Uvarint())
+	idxLen := sr.U64()
+	if err := sr.Err(); err != nil {
+		return nil, 0, fmt.Errorf("header: %w", err)
+	}
+
+	readGraphs := func(n int, what string) ([]*graph.Graph, []int32, error) {
+		if err := sr.Next(); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", what, err)
+		}
+		graphs := make([]*graph.Graph, 0, n)
+		ids := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			if sr.Remaining() == 0 { // chunk boundary
+				if err := sr.Next(); err != nil {
+					return nil, nil, fmt.Errorf("%s chunk after graph %d: %w", what, i, err)
+				}
+			}
+			id := int32(sr.U32())
+			enc := sr.Bytes(int(sr.Uvarint()))
+			if sr.Err() != nil {
+				return nil, nil, fmt.Errorf("%s graph %d: %w", what, i, sr.Err())
+			}
+			g, rest, err := graph.DecodeBinary(enc)
+			if err != nil || len(rest) != 0 {
+				return nil, nil, fmt.Errorf("%s graph %d: malformed encoding", what, i)
+			}
+			graphs = append(graphs, g)
+			ids = append(ids, id)
+		}
+		return graphs, ids, nil
+	}
+	if snap.Base, snap.BaseIDs, err = readGraphs(nBase, "base"); err != nil {
+		return nil, 0, err
+	}
+
+	// idxLen comes from the checksummed header, so trust it for the loop
+	// bound — but grow the buffer from one chunk instead of preallocating
+	// the full length, so even an (astronomically unlikely) corrupt value
+	// that survived the CRC fails at a torn-section error, not an
+	// allocation bomb.
+	idxCap := idxLen
+	if idxCap > snapChunk {
+		idxCap = snapChunk
+	}
+	idxBytes := make([]byte, 0, idxCap)
+	for uint64(len(idxBytes)) < idxLen {
+		if err := sr.Next(); err != nil {
+			return nil, 0, fmt.Errorf("index chunk at byte %d: %w", len(idxBytes), err)
+		}
+		idxBytes = append(idxBytes, sr.Bytes(sr.Remaining())...)
+	}
+	if uint64(len(idxBytes)) != idxLen {
+		return nil, 0, fmt.Errorf("index: chunks hold %d bytes, header says %d", len(idxBytes), idxLen)
+	}
+	if snap.Index, err = index.Load(bytes.NewReader(idxBytes), metric); err != nil {
+		return nil, 0, fmt.Errorf("index: %w", err)
+	}
+
+	if err := sr.Next(); err != nil {
+		return nil, 0, fmt.Errorf("tombstones: %w", err)
+	}
+	snap.Tombs = sr.I32Slab(nTombs)
+	if err := sr.Err(); err != nil {
+		return nil, 0, fmt.Errorf("tombstones: %w", err)
+	}
+
+	if snap.Delta, snap.DeltaIDs, err = readGraphs(nDelta, "delta"); err != nil {
+		return nil, 0, err
+	}
+	return snap, seq, nil
+}
+
+// ScanWAL decodes the valid record prefix of a WAL file, returning the
+// records with their framing offsets and the byte length of the valid
+// prefix. A torn or checksum-failing record ends the scan without error:
+// everything from its start offset on is untrusted tail.
+func ScanWAL(path string) ([]RecordInfo, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []RecordInfo
+	off := int64(0)
+	for {
+		rec, end, ok := nextRecord(data, off)
+		if !ok {
+			return out, off, nil
+		}
+		rec.Start = off
+		rec.End = end
+		out = append(out, rec)
+		off = end
+	}
+}
+
+// nextRecord decodes one framed record at off; ok=false marks the end of
+// the valid prefix (clean EOF, torn frame, bad checksum, or undecodable
+// payload alike — the distinction is the caller's DroppedBytes count).
+func nextRecord(data []byte, off int64) (ri RecordInfo, end int64, ok bool) {
+	rest := data[off:]
+	if len(rest) < 8 {
+		return ri, 0, false
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	if n == 0 || uint64(n) > uint64(len(rest))-8 {
+		return ri, 0, false
+	}
+	payload := rest[4 : 4+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4+n:]) {
+		return ri, 0, false
+	}
+	switch payload[0] {
+	case OpInsert:
+		if len(payload) < 5 {
+			return ri, 0, false
+		}
+		g, tail, err := graph.DecodeBinary(payload[5:])
+		if err != nil || len(tail) != 0 {
+			return ri, 0, false
+		}
+		ri.Op = OpInsert
+		ri.ID = int32(binary.LittleEndian.Uint32(payload[1:]))
+		ri.Graph = g
+	case OpDelete:
+		if len(payload) != 5 {
+			return ri, 0, false
+		}
+		ri.Op = OpDelete
+		ri.ID = int32(binary.LittleEndian.Uint32(payload[1:]))
+	default:
+		return ri, 0, false
+	}
+	return ri, off + int64(n) + 8, true
+}
+
+// writeFileAtomic writes name under dir via a temp file: content, fsync,
+// rename, directory fsync. Readers see the old file or the new one,
+// never a partial write.
+func writeFileAtomic(dir, name string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- root manifest: the shard layout above the per-segment stores ---
+
+const (
+	rootManifestMagic = "pis-store v1"
+)
+
+// ShardDir names shard i's segment store directory under root.
+func ShardDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", i))
+}
+
+// RootExists reports whether root holds a database store. It checks the
+// manifest's content, not just its presence: on a case-insensitive
+// filesystem a legacy index dir's lowercase "manifest" (a bare
+// fingerprint) would otherwise satisfy a stat of "MANIFEST" and block
+// the documented in-place migration.
+func RootExists(root string) bool {
+	data, err := os.ReadFile(filepath.Join(root, manifestName))
+	if err != nil {
+		return false
+	}
+	line, _, _ := strings.Cut(strings.TrimSpace(string(data)), "\n")
+	return line == rootManifestMagic
+}
+
+// WriteRootManifest records the shard count for a database rooted at
+// root, creating the directory if needed.
+func WriteRootManifest(root string, shards int) error {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeFileAtomic(root, manifestName, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s\nshards %d\n", rootManifestMagic, shards)
+		return err
+	})
+}
+
+// ReadRootManifest returns the shard count recorded at root.
+func ReadRootManifest(root string) (shards int, err error) {
+	data, err := os.ReadFile(filepath.Join(root, manifestName))
+	if err != nil {
+		return 0, fmt.Errorf("store: %s is not a database store: %w", root, err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 || lines[0] != rootManifestMagic {
+		return 0, fmt.Errorf("store: %s: malformed root MANIFEST", root)
+	}
+	for _, ln := range lines[1:] {
+		if val, ok := strings.CutPrefix(ln, "shards "); ok {
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return 0, fmt.Errorf("store: %s: bad shard count %q", root, val)
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("store: %s: root MANIFEST names no shard count", root)
+}

@@ -85,7 +85,11 @@ func runMutationRace(t *testing.T, db mutableDB, initial []*pis.Graph) {
 					logs[w] = append(logs[w], op{insert: g, id: id})
 				case r < 8:
 					id := rng.Int31n(assigned.Load())
-					ok := db.Delete(id)
+					ok, err := db.Delete(id)
+					if err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
 					logs[w] = append(logs[w], op{id: id, ok: ok})
 				default:
 					if err := db.Compact(); err != nil {

@@ -21,15 +21,25 @@
 // For large databases, NewSharded partitions the graphs into contiguous
 // shards indexed and searched in parallel, and the server package plus the
 // pisserved command expose a sharded database over an HTTP JSON API with a
-// canonical-query result cache. See README.md at the repository root for a
-// quickstart, the transaction file format, and server usage.
+// canonical-query result cache.
+//
+// Databases are durable when rooted in a data directory with Create /
+// CreateSharded (or upgraded in place with Persist): every Insert and
+// Delete is fsync'd to a write-ahead log before it is acknowledged,
+// Checkpoint and Compact write atomic snapshots, and Open / OpenSharded
+// recover the exact acknowledged state after a crash — no re-mining, no
+// data loss, torn log tails dropped. See README.md at the repository
+// root for a quickstart, the transaction file format, durability
+// guarantees, and server usage.
 package pis
 
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"pis/internal/core"
 	"pis/internal/distance"
@@ -38,7 +48,13 @@ import (
 	"pis/internal/mining"
 	"pis/internal/segment"
 	"pis/internal/shard"
+	"pis/internal/store"
 )
+
+// ErrNotDurable reports a durability operation (Checkpoint) on a
+// database that was built in memory instead of opened from a data
+// directory (Create/Open and their sharded variants).
+var ErrNotDurable = segment.ErrNotDurable
 
 // Re-exported graph construction types. Users build labeled undirected
 // graphs with a Builder; vertex and edge labels are small integers whose
@@ -247,14 +263,20 @@ func (db *Database) Graph(id int32) *Graph { return db.seg.Graph(id) }
 // returns. The graph lands in an in-memory delta segment and is
 // searchable immediately; once the delta outgrows
 // Options.CompactFraction of the indexed size it is folded into a
-// rebuilt index. The insert itself always succeeds — a non-nil error
+// rebuilt index. On a durable database the insert is written to the WAL
+// and fsync'd before it is acknowledged; a logging failure rejects the
+// mutation and returns id -1 with the error. Otherwise a non-nil error
 // reports a failed automatic compaction (the delta is retained, answers
 // stay exact).
 func (db *Database) Insert(g *Graph) (int32, error) {
 	db.mu.Lock()
 	id := db.nextID
+	needsCompact, err := db.seg.Insert(g, id)
+	if err != nil {
+		db.mu.Unlock()
+		return -1, err
+	}
 	db.nextID++
-	needsCompact := db.seg.Insert(g, id)
 	db.mu.Unlock()
 	if needsCompact {
 		return id, db.seg.Compact()
@@ -264,13 +286,147 @@ func (db *Database) Insert(g *Graph) (int32, error) {
 
 // Delete removes the graph with the given id from all future query
 // results (a tombstone; the index is cleaned up at the next compaction).
-// It reports whether the id was present and live.
-func (db *Database) Delete(id int32) bool { return db.seg.Delete(id) }
+// It reports whether the id was present and live. On a durable database
+// a live delete is WAL-logged and fsync'd before it is acknowledged; on
+// a logging failure the graph stays live and the error is returned.
+func (db *Database) Delete(id int32) (bool, error) { return db.seg.Delete(id) }
 
 // Compact folds the delta segment and tombstones into a freshly mined
 // and built index over the surviving graphs. Ids are unchanged. On error
 // the database keeps serving its pre-compaction state, still exactly.
+// On a durable database a successful compaction also writes a fresh
+// snapshot and truncates the WAL.
 func (db *Database) Compact() error { return db.seg.Compact() }
+
+// Checkpoint writes the database's current state — graphs, base index,
+// delta, tombstones — as a fresh atomic snapshot and truncates the WAL,
+// without rebuilding the index. It returns ErrNotDurable for an
+// in-memory database.
+func (db *Database) Checkpoint() error { return db.seg.Checkpoint() }
+
+// Close releases the backing store's file handles (a no-op for an
+// in-memory database). Queries keep working; mutations fail afterwards.
+func (db *Database) Close() error { return db.seg.Close() }
+
+// DurabilityStats reports the state of a database's backing store.
+type DurabilityStats struct {
+	// Durable is false for in-memory databases; every other field is
+	// zero in that case.
+	Durable bool
+	// WALRecords and WALBytes measure the active log: acknowledged
+	// mutations not yet folded into a snapshot (summed across shards).
+	WALRecords int64
+	WALBytes   int64
+	// SnapshotSeq is the current snapshot sequence number (for a sharded
+	// database, the smallest across shards).
+	SnapshotSeq uint64
+	// Checkpoints counts snapshots written by this process, and
+	// LastCheckpoint stamps the most recent one (zero when none; for a
+	// sharded database, the oldest shard's).
+	Checkpoints    int64
+	LastCheckpoint time.Time
+	// ReplayedRecords counts WAL records applied during recovery when
+	// the database was opened; RecoveryDroppedBytes counts torn or
+	// corrupt WAL tail bytes that were discarded (0 = clean shutdown or
+	// clean crash).
+	ReplayedRecords      int
+	RecoveryDroppedBytes int64
+}
+
+func durabilityStats(st store.Stats, ok bool) DurabilityStats {
+	if !ok {
+		return DurabilityStats{}
+	}
+	return DurabilityStats{
+		Durable:              true,
+		WALRecords:           st.WALRecords,
+		WALBytes:             st.WALBytes,
+		SnapshotSeq:          st.SnapshotSeq,
+		Checkpoints:          st.Checkpoints,
+		LastCheckpoint:       st.LastCheckpoint,
+		ReplayedRecords:      st.Recovery.ReplayedRecords,
+		RecoveryDroppedBytes: st.Recovery.DroppedBytes,
+	}
+}
+
+// Durability reports the backing store's counters; Durable is false for
+// an in-memory database.
+func (db *Database) Durability() DurabilityStats {
+	st, ok := db.seg.StoreStats()
+	return durabilityStats(st, ok)
+}
+
+// Create builds an indexed database over graphs exactly like New and
+// makes it durable, rooted at the directory dir (created if needed,
+// which must not already hold a store): the initial snapshot is written
+// before Create returns, every later Insert and Delete is appended to a
+// write-ahead log and fsync'd before it is acknowledged, and Open
+// restores the exact acknowledged state after a crash or restart.
+func Create(dir string, graphs []*Graph, opts Options) (*Database, error) {
+	db, err := New(graphs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Persist(dir); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Persist attaches a new backing store at dir to an in-memory database,
+// writing its full current state (index included, no rebuild) as the
+// initial snapshot; afterwards the database is durable exactly as if
+// built by Create. This is the migration path for legacy SaveIndex
+// streams: LoadIndex the old files, Persist, and restarts go through
+// Open from then on.
+//
+// The root manifest is written last, after the shard store is fully
+// established, so a crash mid-Persist leaves a directory that still
+// reads as "no store" and the next start rebuilds instead of wedging.
+func (db *Database) Persist(dir string) error {
+	if db.seg.Durable() {
+		return fmt.Errorf("pis: database is already durable")
+	}
+	if store.RootExists(dir) {
+		return fmt.Errorf("pis: %s already holds a database store (use Open)", dir)
+	}
+	sd := store.ShardDir(dir, 0)
+	if store.Exists(sd) {
+		// Debris from a crashed earlier Persist (no root manifest exists).
+		if err := os.RemoveAll(sd); err != nil {
+			return fmt.Errorf("pis: %w", err)
+		}
+	}
+	if err := db.seg.Persist(sd); err != nil {
+		return fmt.Errorf("pis: %w", err)
+	}
+	if err := store.WriteRootManifest(dir, 1); err != nil {
+		return fmt.Errorf("pis: %w", err)
+	}
+	return nil
+}
+
+// Open recovers a durable database from its data directory: the newest
+// valid snapshot is loaded (no re-mining), the WAL's valid prefix is
+// replayed, and a torn final record — a crash mid-write of a mutation
+// that was never acknowledged — is dropped. Search-stage options and
+// mutation knobs are honored from opts exactly as in LoadIndex;
+// opts.Metric must match the build-time metric.
+func Open(dir string, opts Options) (*Database, error) {
+	nShards, err := store.ReadRootManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
+	}
+	if nShards != 1 {
+		return nil, fmt.Errorf("pis: %s holds a %d-shard database; use OpenSharded", dir, nShards)
+	}
+	opts = opts.withDefaults()
+	seg, err := segment.OpenDurable(store.ShardDir(dir, 0), opts.segmentConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
+	}
+	return &Database{seg: seg, nextID: seg.MaxID() + 1}, nil
+}
 
 // LiveIDs returns the ids of every live graph, ascending.
 func (db *Database) LiveIDs() []int32 { return db.seg.AppendLiveIDs(nil) }
@@ -364,17 +520,26 @@ func (db *Database) Stats() IndexStats {
 // mining and index-construction cost. The graphs themselves are not
 // included; persist them separately with WriteDatabase. Only the indexed
 // base is written — Compact first if the database has live mutations.
+//
+// Deprecated: the reader/writer plumbing persists only the frozen index
+// and loses live mutations. Use Create/Open, which persist the whole
+// database (graphs, index, delta, tombstones) with crash recovery.
 func (db *Database) SaveIndex(w io.Writer) error {
 	return db.seg.SaveIndex(w)
 }
 
 // LoadIndex reconstructs a Database from graphs plus an index stream
 // written by SaveIndex. The graphs must be the exact database the index
-// was built over (same contents, same order), and opts.Metric must match
-// the build-time metric; search-stage options (Epsilon, Lambda,
-// PartitionK, MaxFragmentsPerQuery, VerifyWorkers) plus the mutation
-// knobs (mining options and CompactFraction, used by later compactions)
-// are honored from opts.
+// was built over (same contents, same order) — current streams embed a
+// fingerprint of that graph set and any mismatch fails loudly here;
+// legacy fingerprint-less v1 streams still load, checked by size only.
+// opts.Metric must match the build-time metric; search-stage options
+// (Epsilon, Lambda, PartitionK, MaxFragmentsPerQuery, VerifyWorkers)
+// plus the mutation knobs (mining options and CompactFraction, used by
+// later compactions) are honored from opts.
+//
+// Deprecated: use Create/Open, which persist the whole database with
+// crash recovery instead of just the frozen index.
 func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 	opts = opts.withDefaults()
 	idx, err := index.Load(r, opts.Metric)
@@ -446,12 +611,78 @@ func (s *Sharded) Graph(id int32) *Graph { return s.db.Graph(id) }
 func (s *Sharded) Insert(g *Graph) (int32, error) { return s.db.Insert(g) }
 
 // Delete removes the graph with the given id from all future query
-// results, reporting whether the id was present and live.
-func (s *Sharded) Delete(id int32) bool { return s.db.Delete(id) }
+// results, reporting whether the id was present and live. On a durable
+// database the delete is WAL-logged and fsync'd before it is
+// acknowledged.
+func (s *Sharded) Delete(id int32) (bool, error) { return s.db.Delete(id) }
 
 // Compact folds every shard's delta and tombstones into fresh per-shard
-// indexes, in parallel. Ids are unchanged.
+// indexes, in parallel. Ids are unchanged. On a durable database each
+// shard's compaction also writes a fresh snapshot and truncates its WAL.
 func (s *Sharded) Compact() error { return s.db.Compact() }
+
+// Checkpoint writes every shard's current state as a fresh atomic
+// snapshot and truncates its WAL, in parallel, without rebuilding any
+// index. It returns ErrNotDurable for an in-memory database.
+func (s *Sharded) Checkpoint() error { return s.db.Checkpoint() }
+
+// Close releases the backing stores' file handles (a no-op for an
+// in-memory database). Queries keep working; mutations fail afterwards.
+func (s *Sharded) Close() error { return s.db.Close() }
+
+// Durability reports the backing store's counters aggregated across
+// shards; Durable is false for an in-memory database.
+func (s *Sharded) Durability() DurabilityStats {
+	st, ok := s.db.StoreStats()
+	return durabilityStats(st, ok)
+}
+
+// CreateSharded builds a sharded database like NewSharded and makes it
+// durable, rooted at dir: a root manifest records the shard layout and
+// every shard gets its own snapshot + WAL pair. See Create for the
+// durability contract.
+func CreateSharded(dir string, graphs []*Graph, nShards int, opts Options) (*Sharded, error) {
+	s, err := NewSharded(graphs, nShards, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Persist(dir); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Persist attaches new backing stores at dir to an in-memory sharded
+// database, writing every shard's current state as initial snapshots (no
+// rebuild). The migration path for legacy SaveShardIndex streams:
+// LoadShardedIndex the old files, Persist, then restart through
+// OpenSharded.
+func (s *Sharded) Persist(dir string) error {
+	if err := s.db.Persist(dir); err != nil {
+		return fmt.Errorf("pis: %w", err)
+	}
+	return nil
+}
+
+// StoreExists reports whether dir holds a database store written by
+// Create/CreateSharded/Persist (a parseable root manifest), so callers
+// can decide between Open and a fresh build without trial and error.
+func StoreExists(dir string) bool {
+	_, err := store.ReadRootManifest(dir)
+	return err == nil
+}
+
+// OpenSharded recovers a durable sharded database from its data
+// directory; the shard count comes from the root manifest. See Open for
+// the recovery contract.
+func OpenSharded(dir string, opts Options) (*Sharded, error) {
+	opts = opts.withDefaults()
+	db, err := shard.Open(dir, opts.shardConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pis: %w", err)
+	}
+	return &Sharded{db: db}, nil
+}
 
 // LiveIDs returns the ids of every live graph, ascending.
 func (s *Sharded) LiveIDs() []int32 { return s.db.LiveIDs() }
@@ -496,15 +727,23 @@ func (s *Sharded) Stats() IndexStats {
 // SaveShardIndex serializes shard i's fragment index (0 <= i < NumShards).
 // Writing every shard's stream lets LoadShardedIndex restore the database
 // without re-mining after a restart.
+//
+// Deprecated: use CreateSharded/OpenSharded, which persist the whole
+// database (graphs, indexes, mutations) with crash recovery.
 func (s *Sharded) SaveShardIndex(i int, w io.Writer) error {
 	return s.db.SaveShard(i, w)
 }
 
 // LoadShardedIndex reconstructs a Sharded database from graphs plus one
 // index stream per shard, written by SaveShardIndex in shard order. The
-// graphs must be the exact database the indexes were built over, the shard
-// count is len(readers), and opts.Metric must match the build-time metric;
-// only search-stage options are honored from opts.
+// graphs must be the exact database the indexes were built over (current
+// streams carry a per-shard graph-set fingerprint; a mismatch fails with
+// the offending shard number), the shard count is len(readers), and
+// opts.Metric must match the build-time metric; only search-stage
+// options are honored from opts.
+//
+// Deprecated: use CreateSharded/OpenSharded, which persist the whole
+// database with crash recovery.
 func LoadShardedIndex(graphs []*Graph, readers []io.Reader, opts Options) (*Sharded, error) {
 	opts = opts.withDefaults()
 	db, err := shard.LoadConfig(graphs, readers, opts.shardConfig())

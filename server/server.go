@@ -7,6 +7,7 @@
 //	POST   /graphs       {"graph": {...}}    insert, returns the new id
 //	DELETE /graphs/{id}  delete one graph (404 when absent)
 //	POST   /compact      fold delta + tombstones into fresh indexes
+//	POST   /checkpoint   flush state to a fresh snapshot (durable backends)
 //	GET    /graphs/{id}  one database graph
 //	GET    /stats        index, cache, mutation, and request counters
 //	GET    /healthz      liveness probe
@@ -37,7 +38,9 @@ import (
 // Backend is the database surface the server needs. Both *pis.Database and
 // *pis.Sharded implement it. Graph ids are stable: an id returned by
 // Insert keeps naming the same graph across compactions and is never
-// reused after Delete.
+// reused after Delete. Durable backends (opened with pis.Open /
+// pis.OpenSharded) persist every acknowledged mutation; Checkpoint
+// returns pis.ErrNotDurable on in-memory ones.
 type Backend interface {
 	Len() int
 	Graph(id int32) *pis.Graph
@@ -46,8 +49,10 @@ type Backend interface {
 	SearchKNN(q *pis.Graph, k int, maxSigma float64) []pis.Neighbor
 	Stats() pis.IndexStats
 	Insert(g *pis.Graph) (int32, error)
-	Delete(id int32) bool
+	Delete(id int32) (bool, error)
 	Compact() error
+	Checkpoint() error
+	Durability() pis.DurabilityStats
 }
 
 // Config configures a Server.
@@ -118,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /graphs", s.instrument("insert", false, s.handleInsert))
 	s.mux.HandleFunc("DELETE /graphs/{id}", s.instrument("delete", false, s.handleDelete))
 	s.mux.HandleFunc("POST /compact", s.instrument("compact", true, s.handleCompact))
+	s.mux.HandleFunc("POST /checkpoint", s.instrument("checkpoint", true, s.handleCheckpoint))
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -421,6 +427,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, err := s.backend.Insert(g)
+	if err != nil && id < 0 {
+		// The mutation was rejected outright (a durable backend could not
+		// log it); nothing changed, so the cache stays valid.
+		writeError(w, http.StatusInternalServerError, "insert failed: "+err.Error())
+		return
+	}
 	s.invalidate(&s.mutations.Inserts)
 	resp := InsertResponse{ID: id, Graphs: s.backend.Len()}
 	if err != nil {
@@ -438,7 +450,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no graph %q", r.PathValue("id")))
 		return
 	}
-	if !s.backend.Delete(id) {
+	ok, err := s.backend.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "delete failed: "+err.Error())
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no live graph %d", id))
 		return
 	}
@@ -459,6 +476,66 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		Index:     encodeIndexStats(ist),
 		ElapsedMS: msSince(start),
 	})
+}
+
+// handleCheckpoint flushes the backend's state to a fresh snapshot. It
+// does not change any answer, so the result cache survives.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.backend.Checkpoint(); err != nil {
+		if errors.Is(err, pis.ErrNotDurable) {
+			writeError(w, http.StatusConflict, "database is not durable: "+err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "checkpoint failed: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.mutations.Checkpoints++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		Durability: encodeDurability(s.backend.Durability()),
+		ElapsedMS:  msSince(start),
+	})
+}
+
+// CheckpointResponse is the body of POST /checkpoint.
+type CheckpointResponse struct {
+	Durability *DurabilityStatsJSON `json:"durability"`
+	ElapsedMS  float64              `json:"elapsed_ms"`
+}
+
+// DurabilityStatsJSON is the wire form of pis.DurabilityStats; it is
+// omitted from /stats entirely for in-memory backends.
+type DurabilityStatsJSON struct {
+	// WALRecords/WALBytes: acknowledged mutations not yet snapshotted.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// SnapshotSeq and checkpoint history of this process.
+	SnapshotSeq        uint64  `json:"snapshot_seq"`
+	Checkpoints        int64   `json:"checkpoints"`
+	LastCheckpointUnix float64 `json:"last_checkpoint_unix,omitempty"` // seconds; absent before the first
+	// What recovery found when the database was opened.
+	ReplayedRecords      int   `json:"recovery_replayed_records"`
+	RecoveryDroppedBytes int64 `json:"recovery_dropped_bytes"`
+}
+
+func encodeDurability(d pis.DurabilityStats) *DurabilityStatsJSON {
+	if !d.Durable {
+		return nil
+	}
+	out := &DurabilityStatsJSON{
+		WALRecords:           d.WALRecords,
+		WALBytes:             d.WALBytes,
+		SnapshotSeq:          d.SnapshotSeq,
+		Checkpoints:          d.Checkpoints,
+		ReplayedRecords:      d.ReplayedRecords,
+		RecoveryDroppedBytes: d.RecoveryDroppedBytes,
+	}
+	if !d.LastCheckpoint.IsZero() {
+		out.LastCheckpointUnix = float64(d.LastCheckpoint.UnixMilli()) / 1000
+	}
+	return out
 }
 
 // IndexStatsJSON is the wire form of pis.IndexStats.
@@ -484,6 +561,7 @@ type MutationStatsJSON struct {
 	Inserts     int64 `json:"inserts"`
 	Deletes     int64 `json:"deletes"`
 	Compactions int64 `json:"compactions"`
+	Checkpoints int64 `json:"checkpoints"`
 }
 
 // CacheStatsJSON reports result-cache occupancy and effectiveness.
@@ -509,6 +587,7 @@ type ServerStats struct {
 	Index         IndexStatsJSON               `json:"index"`
 	Cache         CacheStatsJSON               `json:"cache"`
 	Mutations     MutationStatsJSON            `json:"mutations"`
+	Durability    *DurabilityStatsJSON         `json:"durability,omitempty"`
 	Requests      map[string]EndpointStatsJSON `json:"requests"`
 	InFlightLimit int                          `json:"inflight_limit,omitempty"`
 	UptimeMS      float64                      `json:"uptime_ms"`
@@ -526,6 +605,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits:     hits,
 			Misses:   misses,
 		},
+		Durability:    encodeDurability(s.backend.Durability()),
 		Requests:      make(map[string]EndpointStatsJSON),
 		InFlightLimit: s.cfg.MaxInFlight,
 		UptimeMS:      msSince(s.start),
