@@ -1,0 +1,112 @@
+// Command benchgate compares a freshly measured pisbench report against
+// the committed BENCH_pis.json baseline and fails on performance
+// regression, giving CI teeth: a change that slows the query pipeline
+// or re-inflates its allocation profile fails the build instead of
+// landing silently.
+//
+// Three metrics are gated, each with a relative tolerance (default 20%,
+// wide enough to absorb shared-runner noise):
+//
+//   - queries_per_sec   must not drop below baseline × (1 - tolerance)
+//   - avg_filter_ms     must not rise above baseline × (1 + tolerance)
+//   - avg_allocs_per_query (machine-independent) likewise
+//
+// Improvements never fail the gate; benchgate prints a hint to refresh
+// the baseline when the current report is clearly better. To accept an
+// intentional change, regenerate the report with pisbench and commit it:
+//
+//	go run ./cmd/pisbench -figure timing -n 600 -queries 60 -json BENCH_pis.json
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pis.json -current /tmp/BENCH_new.json [-tolerance 0.2]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pis/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	var (
+		baselinePath = flag.String("baseline", "BENCH_pis.json", "committed baseline report")
+		currentPath  = flag.String("current", "", "freshly measured report (required)")
+		tolerance    = flag.Float64("tolerance", 0.2, "relative regression tolerance (0.2 = 20%)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		log.Fatal("-current is required")
+	}
+	if *tolerance < 0 {
+		log.Fatal("-tolerance must be >= 0")
+	}
+	baseline := read(*baselinePath)
+	current := read(*currentPath)
+
+	type gate struct {
+		name           string
+		base, cur      float64
+		higherIsBetter bool
+	}
+	gates := []gate{
+		{"queries_per_sec", baseline.QueriesPerSec, current.QueriesPerSec, true},
+		{"avg_filter_ms", baseline.AvgFilterMS, current.AvgFilterMS, false},
+		{"avg_allocs_per_query", baseline.AvgAllocsPerQuery, current.AvgAllocsPerQuery, false},
+	}
+
+	failed, improved := false, false
+	fmt.Printf("%-22s  %12s  %12s  %8s  %s\n", "metric", "baseline", "current", "delta", "verdict")
+	for _, g := range gates {
+		if g.base <= 0 {
+			fmt.Printf("%-22s  %12.3f  %12.3f  %8s  skip (no baseline)\n", g.name, g.base, g.cur, "-")
+			continue
+		}
+		delta := (g.cur - g.base) / g.base
+		regressed := delta < -*tolerance
+		better := delta > 0
+		if !g.higherIsBetter {
+			regressed = delta > *tolerance
+			better = delta < 0
+		}
+		verdict := "ok"
+		switch {
+		case regressed:
+			verdict = "REGRESSION"
+			failed = true
+		case better:
+			verdict = "improved"
+			improved = true
+		}
+		fmt.Printf("%-22s  %12.3f  %12.3f  %+7.1f%%  %s\n", g.name, g.base, g.cur, delta*100, verdict)
+	}
+	switch {
+	case failed:
+		fmt.Printf("\nFAIL: regression beyond the %.0f%% tolerance.\n", *tolerance*100)
+		fmt.Println("If intentional, refresh the baseline: go run ./cmd/pisbench -figure timing -n 600 -queries 60 -json BENCH_pis.json and commit it.")
+		os.Exit(1)
+	case improved:
+		fmt.Println("\nPASS — current report beats the baseline; consider committing it as the new baseline.")
+	default:
+		fmt.Println("\nPASS")
+	}
+}
+
+func read(path string) harness.BenchReport {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var rep harness.BenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	return rep
+}

@@ -114,11 +114,11 @@ func main() {
 
 	fmt.Printf("answers (%d): %v\n", len(r.Answers), r.Answers)
 	st := r.Stats
-	fmt.Printf("fragments: %d indexed, %d used, partition size %d\n",
-		st.QueryFragments, st.UsedFragments, st.PartitionSize)
-	fmt.Printf("candidates: %d structural, %d after distance pruning, %d verified\n",
-		st.StructCandidates, st.DistCandidates, st.Verified)
-	fmt.Printf("time: filter %v, verify %v\n", st.FilterTime, st.VerifyTime)
+	fmt.Printf("fragments: %d indexed, %d used, %d expanded, partition size %d\n",
+		st.QueryFragments, st.UsedFragments, st.ExpandedFragments, st.PartitionSize)
+	fmt.Printf("candidates: %d structural, %d in σ range, %d after partition pruning, %d verified\n",
+		st.StructCandidates, st.RangeCandidates, st.DistCandidates, st.Verified)
+	fmt.Printf("time: filter %v (of which planning %v), verify %v\n", st.FilterTime, st.PlanTime, st.VerifyTime)
 }
 
 // queryRemote posts the query to a pisserved /search endpoint and prints
@@ -145,11 +145,11 @@ func queryRemote(base string, q *pis.Graph, sigma float64) error {
 	}
 	fmt.Printf("answers (%d): %v\n", len(resp.Answers), resp.Answers)
 	st := resp.Stats
-	fmt.Printf("fragments: %d indexed, %d used, partition size %d\n",
-		st.QueryFragments, st.UsedFragments, st.PartitionSize)
-	fmt.Printf("candidates: %d structural, %d after distance pruning, %d verified\n",
-		st.StructCandidates, st.DistCandidates, st.Verified)
-	fmt.Printf("time: server %.2fms (filter %.2fms, verify %.2fms), cached %v\n",
-		resp.ElapsedMS, st.FilterMS, st.VerifyMS, resp.Cached)
+	fmt.Printf("fragments: %d indexed, %d used, %d expanded, partition size %d\n",
+		st.QueryFragments, st.UsedFragments, st.ExpandedFragments, st.PartitionSize)
+	fmt.Printf("candidates: %d structural, %d in σ range, %d after partition pruning, %d verified\n",
+		st.StructCandidates, st.RangeCandidates, st.DistCandidates, st.Verified)
+	fmt.Printf("time: server %.2fms (filter %.2fms of which planning %.2fms, verify %.2fms), cached %v\n",
+		resp.ElapsedMS, st.FilterMS, st.PlanMS, st.VerifyMS, resp.Cached)
 	return nil
 }

@@ -62,6 +62,10 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
 		dataDir  = flag.String("data-dir", "", "durable store directory: recovered when present (no -db needed), created from -db/-gen otherwise; legacy -index-dir layouts migrate in place")
 		compact  = flag.Float64("compact-fraction", 0.25, "auto-compact a shard when its insert delta exceeds this fraction of its indexed size (negative disables)")
+
+		plannerOff       = flag.Bool("planner-off", false, "disable the cost-based query planner (exhaustive fragment expansion)")
+		plannerBudget    = flag.Float64("planner-budget", 0, "minimum candidate eliminations for a fragment range query to stay worth running (0 = default 1, negative = expand exhaustively)")
+		plannerCrossover = flag.Int("planner-crossover", 0, "skip remaining range queries once this few candidates survive (0 = default 16, negative = never)")
 	)
 	flag.Parse()
 	if *dbPath != "" && *genN != 0 {
@@ -73,7 +77,13 @@ func main() {
 		log.Fatal("one of -db or -gen is required (or -data-dir must hold an existing store)")
 	}
 
-	opts := pis.Options{MaxFragmentEdges: *maxFrag, CompactFraction: *compact}
+	opts := pis.Options{
+		MaxFragmentEdges: *maxFrag,
+		CompactFraction:  *compact,
+		PlannerOff:       *plannerOff,
+		PlannerBudget:    *plannerBudget,
+		PlannerCrossover: *plannerCrossover,
+	}
 	var db *pis.Sharded
 	var err error
 	switch {

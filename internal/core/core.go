@@ -63,6 +63,27 @@ type Options struct {
 	// SkipVerification stops after filtering; Result.Answers stays nil.
 	// The candidate-counting experiments (Figures 8-12) use this.
 	SkipVerification bool
+
+	// PlannerOff disables the cost-based fragment-expansion planner and
+	// runs every usable fragment's σ range query in enumeration order —
+	// the paper's Algorithm 2 exactly. The planner only reorders and
+	// skips range queries; answers are identical either way.
+	PlannerOff bool
+	// PlannerBudget is the minimum candidate-set gain (eliminations, in
+	// graphs) for a fragment's σ range query to stay worth running. A
+	// fragment whose estimated gain — |candidates| × (1 − estimated
+	// in-range fraction) — falls below it is skipped outright, and
+	// expansion stops entirely once plannerPatience consecutive range
+	// queries have each eliminated fewer than this many candidates:
+	// fragments run in descending estimated-power order, so an observed
+	// dry streak means the remaining tail is not paying for itself. 0
+	// means the default 1; negative means 0 (expand exhaustively).
+	PlannerBudget float64
+	// PlannerCrossover skips every remaining range query once the
+	// surviving candidate set is at most this many graphs — verifying a
+	// handful of candidates outright beats filtering them further. 0
+	// means the default 16; negative means 0 (never cross over).
+	PlannerCrossover int
 }
 
 func (o Options) normalized() Options {
@@ -72,19 +93,38 @@ func (o Options) normalized() Options {
 	if o.PartitionK == 0 {
 		o.PartitionK = 1
 	}
+	if o.PlannerBudget == 0 {
+		o.PlannerBudget = 1
+	} else if o.PlannerBudget < 0 {
+		o.PlannerBudget = 0
+	}
+	if o.PlannerCrossover == 0 {
+		o.PlannerCrossover = 16
+	} else if o.PlannerCrossover < 0 {
+		o.PlannerCrossover = 0
+	}
 	return o
 }
 
-// Stats instruments one search.
+// Stats instruments one search. The candidate counters trace the filter
+// funnel over the indexed base: StructCandidates ⊇ RangeCandidates ⊇
+// DistCandidates; Verified additionally counts the unindexed delta
+// graphs a mutation snapshot sends straight to verification.
 type Stats struct {
-	QueryFragments   int // indexed fragments found in the query
-	UsedFragments    int // after the ε filter and cap
-	PartitionSize    int // fragments in the chosen partition
-	StructCandidates int // graphs passing structure-only intersection (Yt)
-	DistCandidates   int // graphs passing PIS filtering (Yp, |CQ|)
-	Verified         int // candidates actually verified
-	FilterTime       time.Duration
-	VerifyTime       time.Duration
+	QueryFragments    int // indexed fragments found in the query
+	UsedFragments     int // after the ε filter and cap
+	ExpandedFragments int // fragments whose σ range query actually ran
+	PartitionSize     int // fragments in the chosen partition
+	StructCandidates  int // graphs passing structure-only intersection (Yt)
+	RangeCandidates   int // graphs surviving the σ range-list intersection
+	DistCandidates    int // after partition lower-bound pruning (Yp, |CQ|)
+	Verified          int // candidates actually verified (incl. delta)
+	// PlanTime is the fragment scoring + ordering slice of FilterTime,
+	// not a disjoint stage: FilterTime covers the whole filtering stage
+	// (planning included), so stage times sum as FilterTime + VerifyTime.
+	PlanTime   time.Duration
+	FilterTime time.Duration
+	VerifyTime time.Duration
 }
 
 // Result is the outcome of one search.
@@ -177,6 +217,9 @@ type scratch struct {
 	lbs        []float64
 	cursors    []int
 	sizeOrder  []int32
+	planOrder  []int32   // fragment expansion order (planner score descending)
+	fragProb   []float64 // estimated in-range fraction per fragment
+	fragScore  []float64 // pruning power per unit probe cost per fragment
 	vertexSets [][]int32
 	weights    []float64
 	part       []int
@@ -232,6 +275,7 @@ func (s *Searcher) SearchNaiveView(q *graph.Graph, sigma float64, view View) Res
 	}
 	r.Candidates = view.appendLiveDelta(r.Candidates, n)
 	r.Stats.StructCandidates = len(r.Candidates)
+	r.Stats.RangeCandidates = len(r.Candidates)
 	r.Stats.DistCandidates = len(r.Candidates)
 	sc := s.getScratch()
 	s.verify(q, sigma, &r, nil, sc, view)
@@ -256,9 +300,10 @@ func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View)
 	frags := s.usableFragments(q, sigma, &r.Stats)
 	cands := s.structuralCandidates(frags, sc, view.Tombs)
 	r.Stats.StructCandidates = len(cands)
+	r.Stats.RangeCandidates = len(cands) // no distance pruning in this method
+	r.Stats.DistCandidates = len(cands)
 	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
 	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
-	r.Stats.DistCandidates = len(r.Candidates) // no distance pruning in this method
 	r.Stats.FilterTime = time.Since(start)
 	s.verify(q, sigma, &r, nil, sc, view)
 	s.putScratch(sc)
@@ -288,11 +333,46 @@ func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
 		}
 		sc.lbs = lbs
 	}
-	r.Stats.DistCandidates = len(r.Candidates)
 	r.Stats.FilterTime = time.Since(start)
 	s.verify(q, sigma, &r, lbs, sc, view)
 	s.putScratch(sc)
 	return r
+}
+
+// plan ranks the usable fragments by estimated pruning power per unit
+// range-query cost, using the per-class selectivity statistics collected
+// at index build time. It returns the expansion order plus the estimated
+// in-range fraction per fragment (nil when the planner is off, in which
+// case the order is plain enumeration order — the paper's Algorithm 2).
+// Both slices are scratch-backed. Determinism: score ties keep ascending
+// fragment order (stable sort).
+func (s *Searcher) plan(frags []index.QueryFragment, sigma float64, sc *scratch) (order []int32, probs []float64) {
+	order = sc.planOrder[:0]
+	for i := range frags {
+		order = append(order, int32(i))
+	}
+	sc.planOrder = order
+	if s.opts.PlannerOff {
+		return order, nil
+	}
+	probs = sc.fragProb[:0]
+	scores := sc.fragScore[:0]
+	for _, qf := range frags {
+		p := qf.Class.PlanStats().InRangeFrac(sigma)
+		probs = append(probs, p)
+		scores = append(scores, (1-p)/qf.Class.ProbeCost())
+	}
+	sc.fragProb, sc.fragScore = probs, scores
+	slices.SortStableFunc(order, func(a, b int32) int {
+		if sa, sb := scores[a], scores[b]; sa != sb {
+			if sa > sb {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
+	return order, probs
 }
 
 // filter runs the PIS filtering stage (Algorithm 2 lines 3-23) and
@@ -301,29 +381,58 @@ func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
 // ids never appear in the result: range queries skip them at record time
 // and the no-fragment fallback skips them while enumerating. Both slices
 // are scratch-backed: valid only until the scratch is reused.
+//
+// The candidate set is seeded with the structural postings intersection
+// of every usable fragment — nearly free, the postings are in memory —
+// so maximal structure-only pruning happens before any σ range query
+// runs. Range queries then expand in planner order (pruning power per
+// unit cost); the planner skips a fragment whose estimated eliminations
+// fall below Options.PlannerBudget and stops entirely once the surviving
+// set is within Options.PlannerCrossover of going straight to
+// verification. Skipping range queries can only leave extra candidates
+// behind, and verification is exact, so answers never change; only the
+// filtering effort and the per-stage counters do.
 func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch, tombs *index.Tombstones) (cands []int32, lbs []float64) {
 	n := len(s.db)
 	frags := s.usableFragments(q, sigma, st)
 
-	// Structure-only candidate count, for reporting Yt without a second
-	// pass (the postings are already in memory).
-	st.StructCandidates = len(s.structuralCandidates(frags, sc, tombs))
+	// Structural intersection: Yt, and the seed candidate set.
+	cur := s.structuralCandidates(frags, sc, tombs)
+	st.StructCandidates = len(cur)
 
 	if len(frags) == 0 {
 		// No indexed fragment: every live graph stays a candidate.
-		sc.bufA = appendLiveIDs(sc.bufA[:0], n, tombs)
-		return sc.bufA, nil
+		st.RangeCandidates = len(cur)
+		st.DistCandidates = len(cur)
+		return cur, nil
 	}
 
-	// Lines 6-18: one σ range query per fragment; intersect the in-range
-	// id lists by sorted merge/gallop join, stopping early once empty;
-	// compute dynamic selectivities.
+	planStart := time.Now()
+	order, probs := s.plan(frags, sigma, sc)
+	st.PlanTime = time.Since(planStart)
+	budget, crossover := 0.0, 0
+	if probs != nil {
+		budget, crossover = s.opts.PlannerBudget, s.opts.PlannerCrossover
+	}
+
+	// Lines 6-18: one σ range query per expanded fragment; intersect the
+	// in-range id lists by sorted merge/gallop join, stopping early once
+	// empty; compute dynamic selectivities.
 	lists := sc.postingLists(len(frags))
 	infos := sc.infos[:0]
-	cur := sc.bufA[:0]
 	nxt := sc.bufB[:0]
-	for fi, qf := range frags {
-		pl := &lists[fi]
+	dryStreak := 0
+	for _, fi := range order {
+		if len(cur) == 0 || len(cur) <= crossover {
+			break
+		}
+		if probs != nil {
+			if gain := float64(len(cur)) * (1 - probs[fi]); gain < budget {
+				continue
+			}
+		}
+		qf := frags[fi]
+		pl := &lists[len(infos)]
 		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf, tombs)
 		sum := 0.0
 		for _, d := range pl.Dists {
@@ -331,20 +440,28 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 		}
 		w := sum/float64(n) + float64(n-pl.Len())/float64(n)*s.opts.Lambda*sigma
 		infos = append(infos, fragInfo{qf: qf, list: pl, w: w})
-		if fi == 0 {
-			cur = append(cur, pl.IDs...)
-		} else {
-			nxt = intersectSorted(nxt[:0], cur, pl.IDs)
-			cur, nxt = nxt, cur
-		}
-		if len(cur) == 0 {
-			break
+		before := len(cur)
+		nxt = intersectSorted(nxt[:0], cur, pl.IDs)
+		cur, nxt = nxt, cur
+		if probs != nil {
+			// Observed marginal gain: with fragments in descending
+			// estimated-power order, a streak of below-budget expansions
+			// means the remaining tail cannot pay for itself.
+			if float64(before-len(cur)) < budget {
+				if dryStreak++; dryStreak >= plannerPatience {
+					break
+				}
+			} else {
+				dryStreak = 0
+			}
 		}
 	}
 	sc.infos = infos
+	st.ExpandedFragments = len(infos)
+	st.RangeCandidates = len(cur)
 
 	// Lines 19-20: overlapping-relation graph + MWIS partition.
-	if len(cur) > 0 {
+	if len(cur) > 0 && len(infos) > 0 {
 		vertexSets := sc.vertexSets[:0]
 		weights := sc.weights[:0]
 		for _, fi := range infos {
@@ -401,6 +518,7 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 		cur = out
 		sc.lbs = lbs
 	}
+	st.DistCandidates = len(cur)
 	sc.bufA, sc.bufB = cur, nxt
 	return cur, lbs
 }
@@ -480,6 +598,12 @@ func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch
 	sc.bufA, sc.bufB = cur, nxt
 	return cur
 }
+
+// plannerPatience is how many consecutive below-budget range queries the
+// planner tolerates before ending expansion: fragments run in descending
+// estimated-power order, so two dry expansions in a row mean the rest of
+// the tail is overwhelmingly likely to be dry too.
+const plannerPatience = 2
 
 // minParallelVerify is the candidate count below which goroutine fan-out
 // costs more than it saves.

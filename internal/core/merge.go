@@ -11,10 +11,13 @@ package core
 func (s *Stats) Add(o Stats) {
 	s.QueryFragments += o.QueryFragments
 	s.UsedFragments += o.UsedFragments
+	s.ExpandedFragments += o.ExpandedFragments
 	s.PartitionSize += o.PartitionSize
 	s.StructCandidates += o.StructCandidates
+	s.RangeCandidates += o.RangeCandidates
 	s.DistCandidates += o.DistCandidates
 	s.Verified += o.Verified
+	s.PlanTime += o.PlanTime
 	s.FilterTime += o.FilterTime
 	s.VerifyTime += o.VerifyTime
 }

@@ -7,16 +7,16 @@ import (
 )
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{QueryFragments: 1, UsedFragments: 2, PartitionSize: 3,
-		StructCandidates: 4, DistCandidates: 5, Verified: 6,
-		FilterTime: time.Millisecond, VerifyTime: 2 * time.Millisecond}
-	b := Stats{QueryFragments: 10, UsedFragments: 20, PartitionSize: 30,
-		StructCandidates: 40, DistCandidates: 50, Verified: 60,
-		FilterTime: 3 * time.Millisecond, VerifyTime: 4 * time.Millisecond}
+	a := Stats{QueryFragments: 1, UsedFragments: 2, ExpandedFragments: 1, PartitionSize: 3,
+		StructCandidates: 4, RangeCandidates: 4, DistCandidates: 5, Verified: 6,
+		PlanTime: time.Microsecond, FilterTime: time.Millisecond, VerifyTime: 2 * time.Millisecond}
+	b := Stats{QueryFragments: 10, UsedFragments: 20, ExpandedFragments: 10, PartitionSize: 30,
+		StructCandidates: 40, RangeCandidates: 40, DistCandidates: 50, Verified: 60,
+		PlanTime: 2 * time.Microsecond, FilterTime: 3 * time.Millisecond, VerifyTime: 4 * time.Millisecond}
 	a.Add(b)
-	want := Stats{QueryFragments: 11, UsedFragments: 22, PartitionSize: 33,
-		StructCandidates: 44, DistCandidates: 55, Verified: 66,
-		FilterTime: 4 * time.Millisecond, VerifyTime: 6 * time.Millisecond}
+	want := Stats{QueryFragments: 11, UsedFragments: 22, ExpandedFragments: 11, PartitionSize: 33,
+		StructCandidates: 44, RangeCandidates: 44, DistCandidates: 55, Verified: 66,
+		PlanTime: 3 * time.Microsecond, FilterTime: 4 * time.Millisecond, VerifyTime: 6 * time.Millisecond}
 	if a != want {
 		t.Fatalf("Add: got %+v, want %+v", a, want)
 	}

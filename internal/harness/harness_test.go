@@ -140,12 +140,15 @@ func TestFigureRender(t *testing.T) {
 
 func TestFilterTiming(t *testing.T) {
 	env := buildTiny(t)
-	avg, n := FilterTiming(env, 16, 2)
+	avg, expanded, usable, n := FilterTiming(env, 16, 2)
 	if n != env.Config.Queries {
 		t.Fatalf("timed %d queries", n)
 	}
 	if avg <= 0 {
 		t.Fatal("non-positive filter time")
+	}
+	if expanded > usable {
+		t.Fatalf("planner expanded %.1f of %.1f usable fragments", expanded, usable)
 	}
 }
 

@@ -33,14 +33,25 @@ type BenchReport struct {
 	Fragments int     `json:"index_fragments"`
 	Sequences int     `json:"index_sequences"`
 
-	// Per-stage averages over the query set.
-	AvgQueryFragments   float64 `json:"avg_query_fragments"`
-	AvgStructCandidates float64 `json:"avg_struct_candidates"`
-	AvgDistCandidates   float64 `json:"avg_dist_candidates"`
-	AvgVerified         float64 `json:"avg_verified"`
-	AvgAnswers          float64 `json:"avg_answers"`
-	AvgFilterMS         float64 `json:"avg_filter_ms"`
-	AvgVerifyMS         float64 `json:"avg_verify_ms"`
+	// Per-stage averages over the query set. The fragment columns trace
+	// the planner: found in the query, surviving the ε filter, and
+	// actually range-expanded (the cost-based planner skips the rest).
+	// The candidate columns trace the filter funnel: structural postings
+	// intersection, σ range-list intersection, partition lower-bound
+	// pruning, and what finally reached verification.
+	AvgQueryFragments    float64 `json:"avg_query_fragments"`
+	AvgUsedFragments     float64 `json:"avg_used_fragments"`
+	AvgExpandedFragments float64 `json:"avg_expanded_fragments"`
+	AvgStructCandidates  float64 `json:"avg_struct_candidates"`
+	AvgRangeCandidates   float64 `json:"avg_range_candidates"`
+	AvgDistCandidates    float64 `json:"avg_dist_candidates"`
+	AvgVerified          float64 `json:"avg_verified"`
+	AvgAnswers           float64 `json:"avg_answers"`
+	// avg_plan_ms is the planning slice of avg_filter_ms, not an extra
+	// stage: avg_filter_ms + avg_verify_ms is the whole query.
+	AvgPlanMS   float64 `json:"avg_plan_ms"`
+	AvgFilterMS float64 `json:"avg_filter_ms"`
+	AvgVerifyMS float64 `json:"avg_verify_ms"`
 
 	// Filter-vs-verify split of the instrumented query time, so a
 	// regression in either stage is visible on its own even when the
@@ -117,10 +128,14 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 	runtime.ReadMemStats(&msAfter)
 	n := float64(len(qs))
 	rep.AvgQueryFragments = float64(agg.QueryFragments) / n
+	rep.AvgUsedFragments = float64(agg.UsedFragments) / n
+	rep.AvgExpandedFragments = float64(agg.ExpandedFragments) / n
 	rep.AvgStructCandidates = float64(agg.StructCandidates) / n
+	rep.AvgRangeCandidates = float64(agg.RangeCandidates) / n
 	rep.AvgDistCandidates = float64(agg.DistCandidates) / n
 	rep.AvgVerified = float64(agg.Verified) / n
 	rep.AvgAnswers = float64(answers) / n
+	rep.AvgPlanMS = ms(agg.PlanTime) / n
 	rep.AvgFilterMS = ms(agg.FilterTime) / n
 	rep.AvgVerifyMS = ms(agg.VerifyTime) / n
 	if staged := agg.FilterTime + agg.VerifyTime; staged > 0 {

@@ -92,6 +92,10 @@ type Class struct {
 
 	postings  []int32 // sorted unique graph ids containing the structure
 	fragments int     // total fragment occurrences folded in
+
+	// stats feeds the cost-based query planner; computed at build time,
+	// persisted in v2 streams, recomputed for legacy ones (see stats.go).
+	stats ClassStats
 }
 
 // SeqLen returns the class sequence length: included vertex positions
@@ -222,6 +226,7 @@ func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, 
 		x.insertGraph(int32(id), g)
 	}
 	x.finalize()
+	x.computeStats()
 	return x, nil
 }
 

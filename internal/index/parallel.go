@@ -105,6 +105,7 @@ func BuildParallel(db []*graph.Graph, features []mining.Feature, opts Options, w
 		}
 	}
 	x.finalize()
+	x.computeStats()
 	return x, nil
 }
 

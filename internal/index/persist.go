@@ -41,6 +41,13 @@ const persistMagicV1 = "PIS-INDEX-v1"
 // persistMagicV2 leads the binary stream; 8 bytes, checked verbatim.
 const persistMagicV2 = "PISIDX2\n"
 
+// statsMagic tags the planner-statistics section appended after the
+// class sections ("PIST" little-endian). The header records whether the
+// section is present, so a stream truncated at the section boundary is
+// detected, while streams written before statistics existed (no flag
+// byte in the header) still load with stats recomputed on the fly.
+const statsMagic = 0x54534950
+
 // dto types: exported fields only, no behavior. Both the v1 gob decoder
 // and the v2 section decoder produce these; one reconstruction path
 // builds the live Index from them.
@@ -73,7 +80,12 @@ type persistIndex struct {
 // is not serialized — the caller supplies an equivalent metric to Load —
 // but its vertex-blindness is recorded and checked, since it changes the
 // stored sequence layout.
-func (x *Index) Save(w io.Writer) error {
+func (x *Index) Save(w io.Writer) error { return x.save(w, true) }
+
+// save writes the v2 stream; withStats=false omits the planner-stats
+// section (the shape of streams written before statistics existed, kept
+// reachable for the compatibility tests).
+func (x *Index) save(w io.Writer, withStats bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagicV2); err != nil {
 		return err
@@ -91,6 +103,11 @@ func (x *Index) Save(w io.Writer) error {
 	sw.Uvarint(uint64(x.dbSize))
 	sw.U64(x.fingerprint)
 	sw.Uvarint(uint64(len(x.list)))
+	hasStats := byte(0)
+	if withStats {
+		hasStats = 1
+	}
+	sw.U8(hasStats)
 	if err := sw.Flush(); err != nil {
 		return err
 	}
@@ -140,6 +157,21 @@ func (x *Index) Save(w io.Writer) error {
 			return err
 		}
 	}
+	if withStats {
+		sw.Begin()
+		sw.U32(statsMagic)
+		sw.Uvarint(uint64(len(x.list)))
+		for _, c := range x.list {
+			sw.Uvarint(uint64(c.stats.Sequences))
+			sw.Uvarint(uint64(c.stats.Pairs))
+			for _, h := range c.stats.Hist {
+				sw.Uvarint(uint64(h))
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -179,7 +211,12 @@ func Load(r io.Reader, metric distance.Metric) (*Index, error) {
 		return nil, fmt.Errorf("index: not a PIS index stream (magic %q)", p.Magic)
 	}
 	p.Fingerprint = 0 // v1 predates fingerprints even if a forged field decoded
-	return fromDTO(&p, metric)
+	x, err := fromDTO(&p, metric)
+	if err != nil {
+		return nil, err
+	}
+	x.computeStats() // v1 predates planner statistics
+	return x, nil
 }
 
 // loadV2 decodes the binary section stream after the magic.
@@ -195,6 +232,10 @@ func loadV2(r io.Reader, metric distance.Metric) (*Index, error) {
 	p.DBSize = int(sr.Uvarint())
 	p.Fingerprint = sr.U64()
 	nClasses := int(sr.Uvarint())
+	// Streams written before planner statistics stop here; newer ones
+	// append a flag announcing whether a stats section follows, so a
+	// missing announced section is corruption, not an old stream.
+	hasStats := sr.Remaining() > 0 && sr.U8() != 0
 	if err := sr.Err(); err != nil {
 		return nil, fmt.Errorf("index: header: %w", err)
 	}
@@ -246,7 +287,49 @@ func loadV2(r io.Reader, metric distance.Metric) (*Index, error) {
 		pc.Key = code.Key()
 		p.Classes = append(p.Classes, pc)
 	}
-	return fromDTO(&p, metric)
+	x, err := fromDTO(&p, metric)
+	if err != nil {
+		return nil, err
+	}
+	if !hasStats {
+		// Stats-less v2 stream (written before the planner existed):
+		// recompute deterministically from the loaded sequences.
+		x.computeStats()
+		return x, nil
+	}
+	if err := loadStats(sr, x); err != nil {
+		return nil, fmt.Errorf("index: stats section: %w (only the trailing statistics are damaged; restore the stream from a snapshot or rebuild the index)", err)
+	}
+	return x, nil
+}
+
+// loadStats decodes the checksummed planner-statistics section into the
+// loaded classes. Any failure is reported as-is; the caller wraps it so
+// the error names the stats section instead of poisoning the classes
+// that already loaded cleanly.
+func loadStats(sr *binio.SectionReader, x *Index) error {
+	if err := sr.Next(); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("missing (stream truncated at the section boundary)")
+		}
+		return err
+	}
+	if m := sr.U32(); m != statsMagic {
+		return fmt.Errorf("bad section magic %08x", m)
+	}
+	if n := int(sr.Uvarint()); n != len(x.list) {
+		return fmt.Errorf("covers %d classes, index has %d", n, len(x.list))
+	}
+	for _, c := range x.list {
+		cs := ClassStats{Postings: int32(len(c.postings))}
+		cs.Sequences = int32(sr.Uvarint())
+		cs.Pairs = int32(sr.Uvarint())
+		for i := range cs.Hist {
+			cs.Hist[i] = int32(sr.Uvarint())
+		}
+		c.stats = cs
+	}
+	return sr.Err()
 }
 
 // fromDTO builds the live index from decoded persistence structs,

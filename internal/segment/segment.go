@@ -11,6 +11,14 @@
 // into a freshly mined and built base, automatically once the delta
 // outgrows Config.CompactFraction of the base.
 //
+// Query planning is delta-aware by construction: the cost-based planner
+// (core.Options planner knobs) budgets its σ range queries against the
+// indexed base only — delta graphs bypass the filter and are verified
+// regardless, so their count never inflates a fragment's estimated gain
+// — and the per-fragment selectivity statistics the planner consumes
+// are recomputed with every compaction, because Compact rebuilds the
+// index and index construction collects them.
+//
 // Every graph carries a stable global id assigned at insertion by the
 // owner (pis.Database or shard.DB) and never reused: searches translate
 // segment-local ids to global ids on the way out, so clients can hold on
@@ -445,8 +453,10 @@ func (s *Segment) localOf(id int32) (int32, bool) {
 }
 
 // Compact folds the delta and tombstones into a freshly mined and built
-// index over the surviving graphs. On error the segment is unchanged and
-// still serves correctly. Compacting an unmutated segment is a no-op.
+// index over the surviving graphs; the rebuilt index carries fresh
+// per-fragment selectivity statistics, so the query planner's estimates
+// track the post-compaction contents. On error the segment is unchanged
+// and still serves correctly. Compacting an unmutated segment is a no-op.
 //
 // On a durable segment a successful compaction also writes a fresh
 // snapshot and truncates the WAL. If the snapshot write fails the error

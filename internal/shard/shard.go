@@ -8,6 +8,11 @@
 // (each shard mines on its own slice) without changing the answer set:
 // filtering quality varies, answers do not. That is what makes the
 // fan-out embarrassingly parallel and the merge a pure k-way interleave.
+// The cost-based query planner works the same way: every shard plans its
+// own fragment expansion against its own index's selectivity statistics
+// (refreshed whenever that shard compacts), so a fragment may be
+// expanded on one shard and skipped on another without affecting
+// answers — the aggregated Stats sum each shard's planning counters.
 //
 // The database is mutable while serving. Inserts are routed to the shard
 // with the fewest live graphs (keeping shards balanced as the database

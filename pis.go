@@ -141,6 +141,26 @@ type Options struct {
 	PartitionK           int
 	MaxFragmentsPerQuery int
 
+	// PlannerOff disables the cost-based query planner: every usable
+	// fragment's σ range query runs in enumeration order, exactly the
+	// paper's Algorithm 2. With the planner on (the default), fragments
+	// expand in order of estimated pruning power per unit cost — from
+	// per-fragment selectivity statistics collected at index build time —
+	// and expansion stops early when it can no longer pay for itself.
+	// Answers are identical either way; only filtering effort changes.
+	PlannerOff bool
+	// PlannerBudget is the minimum candidate-set gain (eliminations, in
+	// graphs) for a fragment's σ range query to stay worth running:
+	// fragments whose estimated gain falls below it are skipped, and
+	// expansion stops once consecutive range queries observably
+	// eliminate fewer candidates than it (default 1; negative = 0,
+	// expand exhaustively).
+	PlannerBudget float64
+	// PlannerCrossover skips remaining range queries once the surviving
+	// candidate set is at most this many graphs and goes straight to
+	// verification (default 16; negative = 0, never cross over).
+	PlannerCrossover int
+
 	// CompactFraction tunes the live-mutation compaction policy: after an
 	// Insert, when the unindexed delta holds more than CompactFraction
 	// times the indexed graph count (per shard for a Sharded database),
@@ -221,6 +241,9 @@ func (o Options) coreOptions() core.Options {
 		PartitionK:           o.PartitionK,
 		MaxFragmentsPerQuery: o.MaxFragmentsPerQuery,
 		VerifyWorkers:        o.VerifyWorkers,
+		PlannerOff:           o.PlannerOff,
+		PlannerBudget:        o.PlannerBudget,
+		PlannerCrossover:     o.PlannerCrossover,
 	}
 }
 

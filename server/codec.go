@@ -70,28 +70,40 @@ type SearchRequest struct {
 }
 
 // StatsJSON reports the per-stage counters of one query in wire form
-// (durations in milliseconds).
+// (durations in milliseconds). The fragment and candidate counters
+// double as the request's plan summary: of query_fragments found,
+// used_fragments survived the ε filter and expanded_fragments actually
+// ran their σ range query (the rest were skipped by the cost-based
+// planner); struct/range/dist_candidates trace the filter funnel.
 type StatsJSON struct {
-	QueryFragments   int     `json:"query_fragments"`
-	UsedFragments    int     `json:"used_fragments"`
-	PartitionSize    int     `json:"partition_size"`
-	StructCandidates int     `json:"struct_candidates"`
-	DistCandidates   int     `json:"dist_candidates"`
-	Verified         int     `json:"verified"`
-	FilterMS         float64 `json:"filter_ms"`
-	VerifyMS         float64 `json:"verify_ms"`
+	QueryFragments    int `json:"query_fragments"`
+	UsedFragments     int `json:"used_fragments"`
+	ExpandedFragments int `json:"expanded_fragments"`
+	PartitionSize     int `json:"partition_size"`
+	StructCandidates  int `json:"struct_candidates"`
+	RangeCandidates   int `json:"range_candidates"`
+	DistCandidates    int `json:"dist_candidates"`
+	Verified          int `json:"verified"`
+	// plan_ms is the planning slice of filter_ms (not a disjoint
+	// stage); filter_ms + verify_ms is the full instrumented time.
+	PlanMS   float64 `json:"plan_ms"`
+	FilterMS float64 `json:"filter_ms"`
+	VerifyMS float64 `json:"verify_ms"`
 }
 
 func encodeStats(s pis.SearchStats) StatsJSON {
 	return StatsJSON{
-		QueryFragments:   s.QueryFragments,
-		UsedFragments:    s.UsedFragments,
-		PartitionSize:    s.PartitionSize,
-		StructCandidates: s.StructCandidates,
-		DistCandidates:   s.DistCandidates,
-		Verified:         s.Verified,
-		FilterMS:         float64(s.FilterTime.Microseconds()) / 1000,
-		VerifyMS:         float64(s.VerifyTime.Microseconds()) / 1000,
+		QueryFragments:    s.QueryFragments,
+		UsedFragments:     s.UsedFragments,
+		ExpandedFragments: s.ExpandedFragments,
+		PartitionSize:     s.PartitionSize,
+		StructCandidates:  s.StructCandidates,
+		RangeCandidates:   s.RangeCandidates,
+		DistCandidates:    s.DistCandidates,
+		Verified:          s.Verified,
+		PlanMS:            float64(s.PlanTime.Microseconds()) / 1000,
+		FilterMS:          float64(s.FilterTime.Microseconds()) / 1000,
+		VerifyMS:          float64(s.VerifyTime.Microseconds()) / 1000,
 	}
 }
 

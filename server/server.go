@@ -95,6 +95,7 @@ type Server struct {
 	mu        sync.Mutex
 	metrics   map[string]*endpointMetrics
 	mutations MutationStatsJSON
+	planner   PlannerStatsJSON
 }
 
 // New builds a Server from cfg.
@@ -243,8 +244,22 @@ func (s *Server) cacheSearchResult(key string, r pis.Result, gen int64) SearchRe
 	if resp.Distances == nil {
 		resp.Distances = []float64{}
 	}
+	s.recordPlan(r.Stats)
 	s.cache.PutAt(key, resp, gen)
 	return resp
+}
+
+// recordPlan folds one executed (non-cached) query's planner counters
+// into the /stats aggregates.
+func (s *Server) recordPlan(st pis.SearchStats) {
+	s.mu.Lock()
+	s.planner.Plans++
+	s.planner.QueryFragments += int64(st.QueryFragments)
+	s.planner.UsedFragments += int64(st.UsedFragments)
+	s.planner.ExpandedFragments += int64(st.ExpandedFragments)
+	s.planner.SkippedFragments += int64(st.UsedFragments - st.ExpandedFragments)
+	s.planner.PlanMS += float64(st.PlanTime.Microseconds()) / 1000
+	s.mu.Unlock()
 }
 
 func (s *Server) searchResponse(q *pis.Graph, sigma float64) SearchResponse {
@@ -564,6 +579,25 @@ type MutationStatsJSON struct {
 	Checkpoints int64 `json:"checkpoints"`
 }
 
+// PlannerStatsJSON aggregates the query planner's work across every
+// executed (non-cached) /search and /batch query since startup. For a
+// sharded backend the per-query fragment counters sum across shards, so
+// the expanded/used ratio reads as the fleet-wide fraction of σ range
+// queries the planner actually paid for.
+type PlannerStatsJSON struct {
+	// Plans counts executed queries (cache hits planned nothing).
+	Plans int64 `json:"plans"`
+	// QueryFragments/UsedFragments/ExpandedFragments/SkippedFragments
+	// trace the fragment funnel: found in queries, surviving the ε
+	// filter, range-expanded, and skipped by the planner.
+	QueryFragments    int64 `json:"query_fragments"`
+	UsedFragments     int64 `json:"used_fragments"`
+	ExpandedFragments int64 `json:"expanded_fragments"`
+	SkippedFragments  int64 `json:"skipped_fragments"`
+	// PlanMS is the total time spent scoring and ordering fragments.
+	PlanMS float64 `json:"plan_ms"`
+}
+
 // CacheStatsJSON reports result-cache occupancy and effectiveness.
 type CacheStatsJSON struct {
 	Capacity int   `json:"capacity"`
@@ -586,6 +620,7 @@ type ServerStats struct {
 	Shards        int                          `json:"shards,omitempty"`
 	Index         IndexStatsJSON               `json:"index"`
 	Cache         CacheStatsJSON               `json:"cache"`
+	Planner       PlannerStatsJSON             `json:"planner"`
 	Mutations     MutationStatsJSON            `json:"mutations"`
 	Durability    *DurabilityStatsJSON         `json:"durability,omitempty"`
 	Requests      map[string]EndpointStatsJSON `json:"requests"`
@@ -615,6 +650,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	out.Mutations = s.mutations
+	out.Planner = s.planner
 	for name, m := range s.metrics {
 		e := EndpointStatsJSON{
 			Count:   m.Count,

@@ -454,3 +454,41 @@ func TestLRUEviction(t *testing.T) {
 		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
 	}
 }
+
+// TestPlannerStats: /stats aggregates planner counters across executed
+// queries, cache hits plan nothing, and each response carries its own
+// plan summary.
+func TestPlannerStats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 13)
+	req := SearchRequest{Query: EncodeGraph(q), Sigma: 2}
+
+	var resp SearchResponse
+	postJSON(t, ts.URL+"/search", req, &resp)
+	if resp.Stats.ExpandedFragments > resp.Stats.UsedFragments {
+		t.Errorf("plan summary expanded %d > used %d fragments",
+			resp.Stats.ExpandedFragments, resp.Stats.UsedFragments)
+	}
+	if resp.Stats.RangeCandidates > resp.Stats.StructCandidates ||
+		resp.Stats.DistCandidates > resp.Stats.RangeCandidates {
+		t.Errorf("plan summary funnel not monotone: %+v", resp.Stats)
+	}
+	postJSON(t, ts.URL+"/search", req, &resp) // cache hit: plans nothing
+
+	var st ServerStats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Planner.Plans != 1 {
+		t.Errorf("planner plans = %d, want 1 (cache hits plan nothing)", st.Planner.Plans)
+	}
+	if st.Planner.QueryFragments <= 0 {
+		t.Errorf("planner fragment counters empty: %+v", st.Planner)
+	}
+	if st.Planner.ExpandedFragments > st.Planner.UsedFragments {
+		t.Errorf("planner expanded %d > used %d", st.Planner.ExpandedFragments, st.Planner.UsedFragments)
+	}
+	if st.Planner.ExpandedFragments+st.Planner.SkippedFragments != st.Planner.UsedFragments {
+		t.Errorf("planner counters do not add up: %+v", st.Planner)
+	}
+}
