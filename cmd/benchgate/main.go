@@ -4,11 +4,15 @@
 // or re-inflates its allocation profile fails the build instead of
 // landing silently.
 //
-// Three metrics are gated, each with a relative tolerance (default 20%,
+// Five metrics are gated, each with a relative tolerance (default 20%,
 // wide enough to absorb shared-runner noise):
 //
 //   - queries_per_sec   must not drop below baseline × (1 - tolerance)
 //   - avg_filter_ms     must not rise above baseline × (1 + tolerance)
+//   - avg_verify_ms     likewise — a filter that passes junk candidates
+//     shows up here even when the filter itself got faster
+//   - verify_time_share likewise, catching a drift in the filter/verify
+//     balance that the absolute numbers absorb on a fast runner
 //   - avg_allocs_per_query (machine-independent) likewise
 //
 // Improvements never fail the gate; benchgate prints a hint to refresh
@@ -58,6 +62,8 @@ func main() {
 	gates := []gate{
 		{"queries_per_sec", baseline.QueriesPerSec, current.QueriesPerSec, true},
 		{"avg_filter_ms", baseline.AvgFilterMS, current.AvgFilterMS, false},
+		{"avg_verify_ms", baseline.AvgVerifyMS, current.AvgVerifyMS, false},
+		{"verify_time_share", baseline.VerifyTimeShare, current.VerifyTimeShare, false},
 		{"avg_allocs_per_query", baseline.AvgAllocsPerQuery, current.AvgAllocsPerQuery, false},
 	}
 

@@ -117,5 +117,9 @@ func main() {
 			log.Fatalf("writing %s: %v", *jsonOut, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d queries, %.1f q/s)\n", *jsonOut, rep.Queries, rep.QueriesPerSec)
+		fmt.Fprintf(os.Stderr, "stage latency ms  p50/p95/p99  plan %.3f/%.3f/%.3f  filter %.3f/%.3f/%.3f  verify %.3f/%.3f/%.3f\n",
+			rep.PlanQuantiles.P50, rep.PlanQuantiles.P95, rep.PlanQuantiles.P99,
+			rep.FilterQuantiles.P50, rep.FilterQuantiles.P95, rep.FilterQuantiles.P99,
+			rep.VerifyQuantiles.P50, rep.VerifyQuantiles.P95, rep.VerifyQuantiles.P99)
 	}
 }

@@ -10,7 +10,15 @@
 //
 // Endpoints: POST /search, POST /knn, POST /batch, GET /graphs/{id},
 // POST /graphs (insert), DELETE /graphs/{id}, POST /compact,
-// POST /checkpoint, GET /stats, GET /healthz.
+// POST /checkpoint, GET /stats, GET /healthz, GET /metrics
+// (Prometheus text format), GET /debug/queries (sampled query ring).
+// Append ?trace=1 to /search for an inline per-stage span tree.
+//
+// With -debug-addr a second admin listener serves GET /metrics and the
+// net/http/pprof profiling handlers under /debug/pprof/. Profiling is
+// only ever exposed on that listener, never on the query port, so the
+// admin surface can be firewalled separately. -slow-query sets a latency
+// threshold above which queries are logged with structured fields.
 //
 // With -data-dir the database is durable: every accepted insert and
 // delete is written to a per-shard write-ahead log and fsync'd before
@@ -37,6 +45,8 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +72,10 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
 		dataDir  = flag.String("data-dir", "", "durable store directory: recovered when present (no -db needed), created from -db/-gen otherwise; legacy -index-dir layouts migrate in place")
 		compact  = flag.Float64("compact-fraction", 0.25, "auto-compact a shard when its insert delta exceeds this fraction of its indexed size (negative disables)")
+
+		debugAddr = flag.String("debug-addr", "", "admin listen address serving /metrics and /debug/pprof/ (profiling is never exposed on -addr)")
+		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this duration, e.g. 250ms (0 disables)")
+		qlogSize  = flag.Int("query-log", 0, "GET /debug/queries ring capacity (0 = default 256)")
 
 		plannerOff       = flag.Bool("planner-off", false, "disable the cost-based query planner (exhaustive fragment expansion)")
 		plannerBudget    = flag.Float64("planner-budget", 0, "minimum candidate eliminations for a fragment range query to stay worth running (0 = default 1, negative = expand exhaustively)")
@@ -125,9 +139,11 @@ func main() {
 	log.Printf("index: %d shards, %d features, %d fragments", db.NumShards(), st.Features, st.Fragments)
 
 	srv, err := server.New(server.Config{
-		Backend:     db,
-		CacheSize:   *cache,
-		MaxInFlight: *inflight,
+		Backend:            db,
+		CacheSize:          *cache,
+		MaxInFlight:        *inflight,
+		SlowQueryThreshold: *slowQuery,
+		QueryLogSize:       *qlogSize,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -135,11 +151,41 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		go runDebugServer(ctx, *debugAddr)
+	}
 	log.Printf("listening on %s", *addr)
 	if err := srv.Run(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// runDebugServer serves the admin surface — Prometheus metrics plus the
+// pprof profiling handlers — on its own listener. The handlers are
+// mounted on a private mux (not http.DefaultServeMux), and the query
+// listener never registers pprof, so exposing -addr publicly cannot leak
+// profiling data.
+func runDebugServer(ctx context.Context, addr string) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", server.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("debug listener on %s (/metrics, /debug/pprof/)", addr)
+	select {
+	case err := <-errc:
+		log.Printf("debug listener: %v", err)
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}
 }
 
 // buildSharded constructs the database from graphs. With a data dir it

@@ -280,6 +280,7 @@ func (s *Searcher) SearchNaiveView(q *graph.Graph, sigma float64, view View) Res
 	sc := s.getScratch()
 	s.verify(q, sigma, &r, nil, sc, view)
 	s.putScratch(sc)
+	r.Stats.record(mQueriesNaive)
 	return r
 }
 
@@ -307,6 +308,7 @@ func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View)
 	r.Stats.FilterTime = time.Since(start)
 	s.verify(q, sigma, &r, nil, sc, view)
 	s.putScratch(sc)
+	r.Stats.record(mQueriesTopo)
 	return r
 }
 
@@ -336,6 +338,7 @@ func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
 	r.Stats.FilterTime = time.Since(start)
 	s.verify(q, sigma, &r, lbs, sc, view)
 	s.putScratch(sc)
+	r.Stats.record(mQueriesPIS)
 	return r
 }
 

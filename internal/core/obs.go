@@ -1,0 +1,86 @@
+// Observability hooks for the search pipeline. The pipeline always
+// collects Stats; this file forwards those counters into the shared
+// obs registry (one atomic op per counter per query) and knows how to
+// promote a Stats into a span tree after the fact, so tracing costs
+// nothing when nobody asks for it.
+
+package core
+
+import (
+	"time"
+
+	"pis/internal/obs"
+)
+
+var (
+	queriesTotal = obs.Default().CounterVec(
+		"pis_queries_total",
+		"Completed searches by pipeline (pis, naive, topoprune).",
+		"method")
+	stageSeconds = obs.Default().HistogramVec(
+		"pis_query_stage_seconds",
+		"Per-stage search latency. plan is the scoring/ordering slice of filter; filter and verify are disjoint and sum to the instrumented query time.",
+		"stage", obs.LatencyBuckets)
+	funnelTotal = obs.Default().CounterVec(
+		"pis_query_candidates_total",
+		"Candidate-funnel volume by stage: graphs surviving structural intersection, the sigma range intersection, the partition lower bound, and reaching verification.",
+		"stage")
+	fragmentsTotal = obs.Default().CounterVec(
+		"pis_query_fragments_total",
+		"Fragment-funnel volume by stage: indexed fragments found in queries, kept after the epsilon filter, and whose sigma range query actually ran.",
+		"stage")
+)
+
+// Pre-resolved children so the per-query path never takes a vec lock.
+var (
+	mQueriesPIS    = queriesTotal.With("pis")
+	mQueriesNaive  = queriesTotal.With("naive")
+	mQueriesTopo   = queriesTotal.With("topoprune")
+	mStagePlan     = stageSeconds.With("plan")
+	mStageFilter   = stageSeconds.With("filter")
+	mStageVerify   = stageSeconds.With("verify")
+	mFunnelStruct  = funnelTotal.With("struct")
+	mFunnelRange   = funnelTotal.With("range")
+	mFunnelDist    = funnelTotal.With("dist")
+	mFunnelVerify  = funnelTotal.With("verified")
+	mFragsQuery    = fragmentsTotal.With("query")
+	mFragsUsed     = fragmentsTotal.With("used")
+	mFragsExpanded = fragmentsTotal.With("expanded")
+)
+
+// record publishes one finished query's Stats into the registry.
+func (st *Stats) record(queries *obs.LabeledCounter) {
+	queries.Inc()
+	mStagePlan.Observe(st.PlanTime.Seconds())
+	mStageFilter.Observe(st.FilterTime.Seconds())
+	mStageVerify.Observe(st.VerifyTime.Seconds())
+	mFunnelStruct.Add(int64(st.StructCandidates))
+	mFunnelRange.Add(int64(st.RangeCandidates))
+	mFunnelDist.Add(int64(st.DistCandidates))
+	mFunnelVerify.Add(int64(st.Verified))
+	mFragsQuery.Add(int64(st.QueryFragments))
+	mFragsUsed.Add(int64(st.UsedFragments))
+	mFragsExpanded.Add(int64(st.ExpandedFragments))
+}
+
+// Trace promotes the Stats into a span tree for one search that took
+// wall time total. Children are the disjoint stages — plan, then the
+// rest of filtering, then verification — so their durations sum to
+// FilterTime + VerifyTime, which is ≤ total (the remainder is snapshot
+// capture, result assembly, and merge overhead outside the instrumented
+// stages). The funnel counters ride along as span attributes.
+func (st *Stats) Trace(total time.Duration) *obs.Span {
+	root := &obs.Span{Name: "search", DurationMS: obs.MS(total)}
+	plan := root.Child("plan", obs.MS(st.PlanTime))
+	plan.SetAttr("query_fragments", st.QueryFragments)
+	plan.SetAttr("used_fragments", st.UsedFragments)
+	filter := root.Child("filter", obs.MS(st.FilterTime-st.PlanTime))
+	filter.SetAttr("expanded_fragments", st.ExpandedFragments)
+	filter.SetAttr("partition_size", st.PartitionSize)
+	filter.SetAttr("struct_candidates", st.StructCandidates)
+	filter.SetAttr("range_candidates", st.RangeCandidates)
+	filter.SetAttr("dist_candidates", st.DistCandidates)
+	verify := root.Child("verify", obs.MS(st.VerifyTime))
+	verify.SetAttr("verified", st.Verified)
+	return root
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pis/internal/obs"
+)
+
+// TestTraceSpansSumToWallTime checks the span-tree contract: a traced
+// search's child stages are disjoint slices of the query's wall
+// interval, so their durations sum to at most the root duration, and —
+// because the pipeline is only snapshot capture plus the instrumented
+// stages — to most of it on real queries.
+func TestTraceSpansSumToWallTime(t *testing.T) {
+	fx := newFixture(t, 7, 400)
+	s := NewSearcher(fx.db, fx.idx, Options{VerifyWorkers: 1})
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 30; i++ {
+		q := sampleQuery(rng, fx.db, 3)
+		start := time.Now()
+		r := s.Search(q, 2)
+		wall := time.Since(start)
+		sp := r.Stats.Trace(wall)
+		if sp.DurationMS != obs.MS(wall) {
+			t.Fatalf("root duration %v, want %v", sp.DurationMS, obs.MS(wall))
+		}
+		if len(sp.Children) != 3 {
+			t.Fatalf("want plan/filter/verify children, got %d", len(sp.Children))
+		}
+		sum := sp.ChildSum()
+		if sum > sp.DurationMS*1.001 {
+			t.Fatalf("children sum %.4fms exceeds wall %.4fms", sum, sp.DurationMS)
+		}
+		// Only assert tightness on queries long enough for the fixed
+		// outside-stage overhead to be a small fraction.
+		if wall >= 200*time.Microsecond {
+			checked++
+			if sum < sp.DurationMS*0.5 {
+				t.Errorf("children sum %.4fms is under half of wall %.4fms: stages unaccounted for", sum, sp.DurationMS)
+			}
+		}
+		if sp.Children[2].Attrs["verified"] != r.Stats.Verified {
+			t.Errorf("verify span attr %v, want %d", sp.Children[2].Attrs["verified"], r.Stats.Verified)
+		}
+	}
+	if checked == 0 {
+		t.Skip("every query finished under 200µs; span-tightness assertion not exercised")
+	}
+}
+
+// TestSearchRecordsMetrics checks that completing searches advances the
+// shared registry's query counters and stage histograms.
+func TestSearchRecordsMetrics(t *testing.T) {
+	fx := newFixture(t, 8, 200)
+	s := NewSearcher(fx.db, fx.idx, Options{VerifyWorkers: 1})
+	rng := rand.New(rand.NewSource(8))
+	before := queriesTotal.Value("pis")
+	stagesBefore := stageSeconds.With("verify").Snapshot()
+	for i := 0; i < 5; i++ {
+		s.Search(sampleQuery(rng, fx.db, 3), 2)
+	}
+	if got := queriesTotal.Value("pis") - before; got != 5 {
+		t.Fatalf("pis_queries_total advanced by %d, want 5", got)
+	}
+	diff := stageSeconds.With("verify").Snapshot().Sub(stagesBefore)
+	if diff.Count() != 5 {
+		t.Fatalf("verify stage histogram recorded %d observations, want 5", diff.Count())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"pis/internal/chem"
 	"pis/internal/core"
 	"pis/internal/index"
+	"pis/internal/obs"
 )
 
 // BenchReport is the serialized outcome of one timed workload.
@@ -59,6 +60,15 @@ type BenchReport struct {
 	FilterTimeShare float64 `json:"filter_time_share"`
 	VerifyTimeShare float64 `json:"verify_time_share"`
 
+	// Per-stage latency quantiles over the measured loop, estimated from
+	// the same process-wide stage histograms production servers export at
+	// /metrics (scoped to this workload by snapshot differencing, so BENCH
+	// numbers and scraped numbers can never drift apart). Averages hide
+	// tail regressions; these don't.
+	PlanQuantiles   StageQuantiles `json:"plan_quantiles_ms"`
+	FilterQuantiles StageQuantiles `json:"filter_quantiles_ms"`
+	VerifyQuantiles StageQuantiles `json:"verify_quantiles_ms"`
+
 	// Allocation profile of the serial query loop (heap allocations the
 	// flat candidate pipeline is meant to keep near zero).
 	AvgAllocsPerQuery  float64 `json:"avg_allocs_per_query"`
@@ -76,6 +86,32 @@ type BenchReport struct {
 	IndexLoadMS        float64 `json:"index_load_ms"`
 	IndexBytes         int     `json:"index_bytes"`
 	LoadVsBuildSpeedup float64 `json:"load_vs_build_speedup"`
+}
+
+// StageQuantiles summarizes one stage's latency distribution in
+// milliseconds.
+type StageQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// stageHistograms resolves the per-stage latency histograms the core
+// package records into on every search.
+func stageHistograms() (plan, filter, verify *obs.Histogram) {
+	v := obs.Default().HistogramVec("pis_query_stage_seconds", "", "stage", nil)
+	return v.With("plan"), v.With("filter"), v.With("verify")
+}
+
+// quantilesSince converts the histogram growth since before into
+// millisecond quantiles.
+func quantilesSince(h *obs.Histogram, before obs.HistogramSnapshot) StageQuantiles {
+	d := h.Snapshot().Sub(before)
+	return StageQuantiles{
+		P50: d.Quantile(0.50) * 1000,
+		P95: d.Quantile(0.95) * 1000,
+		P99: d.Quantile(0.99) * 1000,
+	}
 }
 
 // Measure runs the full pipeline (filter + verification) over a sampled
@@ -114,6 +150,8 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 		Fragments:        ist.Fragments,
 		Sequences:        ist.Sequences,
 	}
+	hPlan, hFilter, hVerify := stageHistograms()
+	planBefore, filterBefore, verifyBefore := hPlan.Snapshot(), hFilter.Snapshot(), hVerify.Snapshot()
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
@@ -142,6 +180,9 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 		rep.FilterTimeShare = float64(agg.FilterTime) / float64(staged)
 		rep.VerifyTimeShare = float64(agg.VerifyTime) / float64(staged)
 	}
+	rep.PlanQuantiles = quantilesSince(hPlan, planBefore)
+	rep.FilterQuantiles = quantilesSince(hFilter, filterBefore)
+	rep.VerifyQuantiles = quantilesSince(hVerify, verifyBefore)
 	rep.AvgAllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / n
 	rep.AvgAllocKBPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / 1024 / n
 	rep.TotalMS = ms(wall)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"pis/internal/canon"
 	"pis/internal/distance"
@@ -155,6 +156,7 @@ func (x *Index) MaxFragmentEdges() int { return x.opts.MaxFragmentEdges }
 // Build constructs the index: every fragment of every database graph whose
 // skeleton matches a feature is folded into that feature's class index.
 func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, error) {
+	buildStart := time.Now()
 	if opts.Metric == nil {
 		return nil, fmt.Errorf("index: Metric is required")
 	}
@@ -227,6 +229,8 @@ func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, 
 	}
 	x.finalize()
 	x.computeStats()
+	mBuildSeconds.ObserveSince(buildStart)
+	mBuildGraphs.Add(int64(len(db)))
 	return x, nil
 }
 
@@ -501,6 +505,7 @@ func (rb *RangeBuffer) begin(n int) {
 // range query is where they stop existing. A steady-state call allocates
 // nothing beyond buffer growth.
 func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList, rb *RangeBuffer, tombs *Tombstones) {
+	mRangeQueries.Inc()
 	c := qf.Class
 	pl.IDs = pl.IDs[:0]
 	pl.Dists = pl.Dists[:0]

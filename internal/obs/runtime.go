@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// ProcessStats is a point-in-time sample of Go runtime telemetry, the
+// process-level block of /stats.
+type ProcessStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapBytes      uint64  `json:"heap_bytes"`
+	GCCycles       uint64  `json:"gc_cycles"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+}
+
+var processSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/gc/pauses:seconds"},
+}
+
+// ReadProcessStats samples the runtime/metrics package. The GC pause
+// total is estimated from the pause-duration histogram (count times
+// bucket midpoint), which is accurate to within a bucket width.
+func ReadProcessStats() ProcessStats {
+	samples := make([]metrics.Sample, len(processSamples))
+	copy(samples, processSamples)
+	metrics.Read(samples)
+	var out ProcessStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.Goroutines = int(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.HeapBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				out.GCPauseTotalMS = histogramTotal(s.Value.Float64Histogram()) * 1000
+			}
+		}
+	}
+	return out
+}
+
+// RegisterProcessMetrics registers scrape-time gauges exposing the Go
+// runtime telemetry of ReadProcessStats on r. Safe to call repeatedly.
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("pis_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(ReadProcessStats().Goroutines) })
+	r.GaugeFunc("pis_heap_bytes",
+		"Bytes of live heap objects.",
+		func() float64 { return float64(ReadProcessStats().HeapBytes) })
+	r.GaugeFunc("pis_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return float64(ReadProcessStats().GCCycles) })
+	r.GaugeFunc("pis_gc_pause_seconds_total",
+		"Estimated total stop-the-world GC pause time since process start.",
+		func() float64 { return ReadProcessStats().GCPauseTotalMS / 1000 })
+}
+
+// histogramTotal estimates the sum of all observations in a
+// runtime/metrics histogram as count x bucket midpoint.
+func histogramTotal(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.Buckets[i]
+		hi := h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		total += float64(c) * (lo + hi) / 2
+	}
+	return total
+}

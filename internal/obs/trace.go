@@ -1,0 +1,38 @@
+package obs
+
+// Span is one timed region of a query, with optional attributes and
+// child spans. The engine builds span trees after the fact from the
+// per-stage counters it always collects, so tracing adds no work to the
+// search hot path; the tree is the presentation, not the measurement.
+type Span struct {
+	Name       string         `json:"name"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*Span        `json:"children,omitempty"`
+}
+
+// SetAttr attaches one key/value to the span, allocating the attribute
+// map on first use.
+func (s *Span) SetAttr(key string, value any) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[key] = value
+}
+
+// Child appends and returns a new child span.
+func (s *Span) Child(name string, durationMS float64) *Span {
+	c := &Span{Name: name, DurationMS: durationMS}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// ChildSum returns the summed duration of the direct children, for
+// sanity checks that a parent accounts for its parts.
+func (s *Span) ChildSum() float64 {
+	var sum float64
+	for _, c := range s.Children {
+		sum += c.DurationMS
+	}
+	return sum
+}

@@ -42,6 +42,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pis/internal/core"
 	"pis/internal/graph"
@@ -415,6 +416,7 @@ func (s *Segment) CommitInsert(g *graph.Graph, id int32) (needsCompact bool, err
 		s.maxID = id
 	}
 	s.nlive.Add(1)
+	mInserts.Inc()
 	f := s.cfg.CompactFraction
 	return f > 0 && float64(len(s.delta)) > f*float64(len(s.base)), nil
 }
@@ -437,6 +439,7 @@ func (s *Segment) Delete(id int32) (bool, error) {
 	}
 	s.tombs = s.tombs.WithSet(local)
 	s.nlive.Add(-1)
+	mDeletes.Inc()
 	return true, nil
 }
 
@@ -468,8 +471,15 @@ func (s *Segment) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mutated := len(s.delta) > 0 || s.tombs.Count() > 0
+	compactStart := time.Now()
 	if err := s.compactLocked(); err != nil {
+		mCompactErrors.Inc()
 		return err
+	}
+	if mutated {
+		mCompactions.Inc()
+		mCompactSeconds.ObserveSince(compactStart)
+		mCompactedGraphs.Add(int64(len(s.base) - s.tombs.Count()))
 	}
 	if s.st != nil && mutated {
 		if err := s.st.WriteSnapshot(s.snapshotStateLocked()); err != nil {

@@ -1,0 +1,51 @@
+// Observability hooks: SearchTraced mirrors Search but times each
+// shard's slice of the fan-out and returns the spans stitched into one
+// tree.
+
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pis/internal/core"
+	"pis/internal/graph"
+	"pis/internal/obs"
+	"pis/internal/segment"
+)
+
+// SearchTraced is Search plus a span tree: one child span per shard
+// (each with that shard's stage breakdown and funnel counters), then a
+// merge span. Shards run concurrently, so child durations overlap and
+// their sum can exceed the root's wall time; the root also carries the
+// summed Stats of the merged result.
+func (d *DB) SearchTraced(q *graph.Graph, sigma float64) (core.Result, *obs.Span) {
+	start := time.Now()
+	parts := make([]core.Result, len(d.segs))
+	spans := make([]*obs.Span, len(d.segs))
+	var wg sync.WaitGroup
+	for i, seg := range d.segs {
+		wg.Add(1)
+		go func(i int, seg *segment.Segment) {
+			defer wg.Done()
+			parts[i], spans[i] = seg.SearchTraced(q, sigma)
+		}(i, seg)
+	}
+	wg.Wait()
+	mergeStart := time.Now()
+	r := core.MergeGlobal(parts)
+	mergeDur := time.Since(mergeStart)
+	root := r.Stats.Trace(time.Since(start))
+	// Replace the flat stage children with per-shard fan-out spans: with
+	// concurrent shards the summed stage durations do not nest inside the
+	// root's wall interval, but each shard's own tree does.
+	root.Children = root.Children[:0]
+	for i, sp := range spans {
+		sp.Name = fmt.Sprintf("shard-%d", i)
+		root.Children = append(root.Children, sp)
+	}
+	root.Child("merge", obs.MS(mergeDur))
+	root.SetAttr("shards", len(d.segs))
+	return r, root
+}

@@ -1,0 +1,53 @@
+// Observability hooks: WAL append/fsync latency and snapshot
+// duration/volume feed the shared metrics registry.
+
+package store
+
+import (
+	"io"
+
+	"pis/internal/obs"
+)
+
+var (
+	mWALAppends = obs.Default().Counter(
+		"pis_wal_appends_total",
+		"WAL records durably appended (insert and delete mutations).")
+	mWALAppendSeconds = obs.Default().Histogram(
+		"pis_wal_append_seconds",
+		"Full WAL append latency per record: frame, write, and fsync.",
+		obs.LatencyBuckets)
+	mWALFsyncSeconds = obs.Default().Histogram(
+		"pis_wal_fsync_seconds",
+		"fsync slice of each WAL append; the gap to pis_wal_append_seconds is framing and the buffered write.",
+		obs.LatencyBuckets)
+	mWALBytes = obs.Default().Counter(
+		"pis_wal_bytes_total",
+		"Framed bytes appended to WALs.")
+
+	mSnapshots = obs.Default().Counter(
+		"pis_snapshots_total",
+		"Snapshots (checkpoints) atomically installed.")
+	mSnapshotSeconds = obs.Default().Histogram(
+		"pis_snapshot_seconds",
+		"Wall time of one snapshot install: serialize, fsync, rename, manifest swing.",
+		obs.LatencyBuckets)
+	mSnapshotBytes = obs.Default().Counter(
+		"pis_snapshot_bytes_total",
+		"Serialized snapshot bytes written (before fsync).")
+	mSnapshotLastBytes = obs.Default().Gauge(
+		"pis_snapshot_last_bytes",
+		"Size of the most recently written snapshot.")
+)
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -239,6 +239,7 @@ func (s *Store) append(payload []byte) error {
 	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
 	rec = append(rec, payload...)
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	appendStart := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
@@ -247,9 +248,14 @@ func (s *Store) append(payload []byte) error {
 	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
+	fsyncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
+	mWALFsyncSeconds.ObserveSince(fsyncStart)
+	mWALAppendSeconds.ObserveSince(appendStart)
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(len(rec)))
 	s.walRecords++
 	s.walBytes += int64(len(rec))
 	return nil
@@ -263,11 +269,16 @@ func (s *Store) append(payload []byte) error {
 func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	snapStart := time.Now()
 	seq := s.seq + 1
 	snapName := fmt.Sprintf("snap-%06d.pissnap", seq)
 	walName := fmt.Sprintf("wal-%06d", seq)
+	var snapBytes int64
 	if err := writeFileAtomic(s.dir, snapName, func(w io.Writer) error {
-		return writeSnapshot(w, snap, seq)
+		cw := &countingWriter{w: w}
+		err := writeSnapshot(cw, snap, seq)
+		snapBytes = cw.n
+		return err
 	}); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
@@ -296,6 +307,10 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.walBytes = 0
 	s.checkpoints++
 	s.lastCheckpoint = time.Now()
+	mSnapshots.Inc()
+	mSnapshotSeconds.ObserveSince(snapStart)
+	mSnapshotBytes.Add(snapBytes)
+	mSnapshotLastBytes.Set(float64(snapBytes))
 	if oldSeq > 0 {
 		os.Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%06d.pissnap", oldSeq)))
 		os.Remove(filepath.Join(s.dir, fmt.Sprintf("wal-%06d", oldSeq)))

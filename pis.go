@@ -46,6 +46,7 @@ import (
 	"pis/internal/graph"
 	"pis/internal/index"
 	"pis/internal/mining"
+	"pis/internal/obs"
 	"pis/internal/segment"
 	"pis/internal/shard"
 	"pis/internal/store"
@@ -75,6 +76,9 @@ type (
 	Result = core.Result
 	// SearchStats instruments one query (candidates per stage, timings).
 	SearchStats = core.Stats
+	// TraceSpan is one timed region of a traced search (see SearchTraced);
+	// spans nest into a tree whose root covers the whole query.
+	TraceSpan = obs.Span
 )
 
 // NewGraphBuilder returns a builder sized for n vertices and m edges.
@@ -468,6 +472,16 @@ func mustBeConnected(q *Graph) {
 	}
 }
 
+// SearchTraced is Search plus a span tree showing where the query's time
+// went: plan, filter, and verify child spans with the candidate-funnel
+// counters attached as attributes. The tree is built from the Stats the
+// pipeline collects anyway, so the overhead over Search is one small
+// allocation per stage.
+func (db *Database) SearchTraced(q *Graph, sigma float64) (Result, *TraceSpan) {
+	mustBeConnected(q)
+	return db.seg.SearchTraced(q, sigma)
+}
+
 // SearchTopoPrune answers with structure-only filtering plus verification
 // (the paper's baseline). The query must be connected.
 func (db *Database) SearchTopoPrune(q *Graph, sigma float64) Result {
@@ -715,6 +729,14 @@ func (s *Sharded) LiveIDs() []int32 { return s.db.LiveIDs() }
 func (s *Sharded) Search(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
 	return s.db.Search(q, sigma)
+}
+
+// SearchTraced is Search plus a span tree: one child span per shard
+// (each carrying that shard's stage breakdown) plus a merge span.
+// Shards run concurrently, so sibling spans overlap in time.
+func (s *Sharded) SearchTraced(q *Graph, sigma float64) (Result, *TraceSpan) {
+	mustBeConnected(q)
+	return s.db.SearchTraced(q, sigma)
 }
 
 // SearchBatch answers many queries concurrently, each fanning out across

@@ -15,6 +15,18 @@ import (
 
 	"pis"
 	"pis/internal/canon"
+	"pis/internal/obs"
+)
+
+// Process-wide cache effectiveness counters; the per-instance hit/miss
+// fields below keep serving /stats.
+var (
+	mCacheHits = obs.Default().Counter(
+		"pis_result_cache_hits_total",
+		"Result-cache lookups answered from the cache.")
+	mCacheMisses = obs.Default().Counter(
+		"pis_result_cache_misses_total",
+		"Result-cache lookups that fell through to the backend.")
 )
 
 // canonicalGraphKey returns a byte string equal for isomorphic graphs and
@@ -95,9 +107,11 @@ func (c *lruCache) Get(key string) (any, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
+		mCacheHits.Inc()
 		return el.Value.(*lruEntry).value, true
 	}
 	c.misses++
+	mCacheMisses.Inc()
 	return nil, false
 }
 

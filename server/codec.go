@@ -115,6 +115,10 @@ type SearchResponse struct {
 	Stats     StatsJSON `json:"stats"`
 	Cached    bool      `json:"cached"`
 	ElapsedMS float64   `json:"elapsed_ms"`
+	// Trace is the per-stage span tree, present only when the request
+	// asked for it with ?trace=1. A cache hit returns a stub span marked
+	// cache_hit instead of the (stale) trace of the original execution.
+	Trace *pis.TraceSpan `json:"trace,omitempty"`
 }
 
 // KNNRequest is the body of POST /knn.

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pis"
+)
+
+func getBody(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.StatusCode, string(b), r.Header
+}
+
+// metricValue extracts one un-labeled or exactly-labeled sample value
+// from an exposition body (-1 when absent).
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name != sample {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("sample %s has unparseable value %q", sample, val)
+		}
+		return f
+	}
+	return -1
+}
+
+// TestMetricsEndpoint checks that /metrics serves valid exposition
+// format and that the search counters advance monotonically across
+// requests.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 31)
+
+	code, before, hdr := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q, want Prometheus text exposition", ct)
+	}
+
+	// Exposition-format validity: every line is a HELP/TYPE comment or a
+	// "name{labels} value" sample.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[0-9eE.+-]+|\+Inf|-Inf|NaN)$`)
+	for _, line := range strings.Split(strings.TrimRight(before, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// Required metric families from every instrumented layer.
+	for _, want := range []string{
+		"# TYPE pis_queries_total counter",
+		"# TYPE pis_query_stage_seconds histogram",
+		"# TYPE pis_query_candidates_total counter",
+		"# TYPE pis_http_requests_total counter",
+		"# TYPE pis_result_cache_hits_total counter",
+		"# TYPE pis_wal_appends_total counter",
+		"# TYPE pis_snapshots_total counter",
+		"# TYPE pis_compactions_total counter",
+		"# TYPE pis_index_range_queries_total counter",
+		"# TYPE pis_graphs_live gauge",
+		"# TYPE pis_goroutines gauge",
+	} {
+		if !strings.Contains(before, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if v := metricValue(t, before, "pis_graphs_live"); v <= 0 {
+		t.Errorf("pis_graphs_live = %v, want > 0", v)
+	}
+
+	queriesBefore := metricValue(t, before, `pis_queries_total{method="pis"}`)
+	verifyBefore := metricValue(t, before, `pis_query_stage_seconds_count{stage="verify"}`)
+
+	const burst = 4
+	for i := 0; i < burst; i++ {
+		var resp SearchResponse
+		if code := postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: float64(i)}, &resp); code != 200 {
+			t.Fatalf("search %d: status %d", i, code)
+		}
+	}
+
+	_, after, _ := getBody(t, ts.URL+"/metrics")
+	queriesAfter := metricValue(t, after, `pis_queries_total{method="pis"}`)
+	verifyAfter := metricValue(t, after, `pis_query_stage_seconds_count{stage="verify"}`)
+	// The backend is sharded (3 shards), so each /search runs >= burst
+	// pipeline queries. Other tests share the process-wide registry, so
+	// assert monotone growth by at least the burst, not exact deltas.
+	if queriesAfter < queriesBefore+burst {
+		t.Errorf("pis_queries_total{pis} went %v -> %v, want advance >= %d", queriesBefore, queriesAfter, burst)
+	}
+	if verifyAfter < verifyBefore+burst {
+		t.Errorf("verify stage count went %v -> %v, want advance >= %d", verifyBefore, verifyAfter, burst)
+	}
+}
+
+// TestSearchTraceFlag checks that ?trace=1 returns a span tree, that the
+// trace is not cached, and that cache hits get a stub span instead.
+func TestSearchTraceFlag(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 32)
+	req := SearchRequest{Query: EncodeGraph(q), Sigma: 2}
+
+	var plain SearchResponse
+	postJSON(t, ts.URL+"/search?trace=1", req, &plain)
+	if plain.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	if plain.Trace.Name != "search" || plain.Trace.DurationMS <= 0 {
+		t.Fatalf("bad root span: %+v", plain.Trace)
+	}
+	// The sharded backend returns per-shard children plus a merge span.
+	if len(plain.Trace.Children) < 2 {
+		t.Fatalf("want per-shard child spans, got %d children", len(plain.Trace.Children))
+	}
+	seenStage := false
+	for _, c := range plain.Trace.Children {
+		for _, g := range c.Children {
+			if g.Name == "verify" || g.Name == "filter" || g.Name == "plan" {
+				seenStage = true
+			}
+		}
+	}
+	if !seenStage {
+		t.Error("no stage spans under the shard spans")
+	}
+
+	// Same query again: a cache hit must NOT replay the original trace.
+	var hit SearchResponse
+	postJSON(t, ts.URL+"/search?trace=1", req, &hit)
+	if !hit.Cached {
+		t.Fatal("second identical search was not a cache hit")
+	}
+	if hit.Trace == nil {
+		t.Fatal("traced cache hit returned no span")
+	}
+	if hit.Trace.Attrs["cache_hit"] != true {
+		t.Fatalf("cache-hit span not annotated: %+v", hit.Trace.Attrs)
+	}
+	if len(hit.Trace.Children) != 0 {
+		t.Fatalf("cache-hit span has %d children, want stub", len(hit.Trace.Children))
+	}
+
+	// Untraced requests carry no trace at all.
+	var untraced SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 3}, &untraced)
+	if untraced.Trace != nil {
+		t.Error("untraced search returned a trace")
+	}
+}
+
+// TestDebugQueriesEndpoint checks the query ring: newest first, limit
+// honored, traces retained for traced queries.
+func TestDebugQueriesEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{QueryLogSize: 8})
+
+	var dq DebugQueriesResponse
+	if code := getJSON(t, ts.URL+"/debug/queries", &dq); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(dq.Queries) != 0 {
+		t.Fatalf("fresh server has %d recorded queries", len(dq.Queries))
+	}
+
+	for i := 0; i < 3; i++ {
+		q := sampleQuery(t, int64(40+i))
+		url := ts.URL + "/search"
+		if i == 2 {
+			url += "?trace=1"
+		}
+		var resp SearchResponse
+		postJSON(t, url, SearchRequest{Query: EncodeGraph(q), Sigma: 1.5}, &resp)
+	}
+
+	if code := getJSON(t, ts.URL+"/debug/queries", &dq); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(dq.Queries) != 3 {
+		t.Fatalf("recorded %d queries, want 3", len(dq.Queries))
+	}
+	// Newest first: the traced query was last.
+	if dq.Queries[0].Trace == nil {
+		t.Error("newest record lost its trace")
+	}
+	if dq.Queries[1].Trace != nil || dq.Queries[2].Trace != nil {
+		t.Error("untraced records carry traces")
+	}
+	for _, rec := range dq.Queries {
+		if rec.Endpoint != "search" {
+			t.Errorf("endpoint %q, want search", rec.Endpoint)
+		}
+		if rec.QueryN == 0 || rec.ElapsedMS < 0 {
+			t.Errorf("record not populated: %+v", rec)
+		}
+	}
+
+	if code := getJSON(t, ts.URL+"/debug/queries?limit=2", &dq); code != 200 || len(dq.Queries) != 2 {
+		t.Fatalf("limit=2: status %d, %d queries", code, len(dq.Queries))
+	}
+	if code := getJSON(t, ts.URL+"/debug/queries?limit=0", nil); code != http.StatusBadRequest {
+		t.Fatalf("limit=0: status %d, want 400", code)
+	}
+}
+
+// TestSlowQueryLog checks that queries over the threshold are logged
+// through the configured slog handler and flagged in the ring.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	// 1ns threshold: everything is slow.
+	ts := newTestServer(t, Config{SlowQueryThreshold: time.Nanosecond, Logger: logger})
+	q := sampleQuery(t, 50)
+	var resp SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 2}, &resp)
+
+	out := buf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, `"endpoint":"search"`) {
+		t.Fatalf("slow-query log missing or unstructured: %q", out)
+	}
+	var dq DebugQueriesResponse
+	getJSON(t, ts.URL+"/debug/queries", &dq)
+	if len(dq.Queries) == 0 || !dq.Queries[0].Slow {
+		t.Fatal("slow query not flagged in /debug/queries")
+	}
+
+	var st ServerStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Observability.SlowQueries < 1 {
+		t.Errorf("observability.slow_queries = %d, want >= 1", st.Observability.SlowQueries)
+	}
+}
+
+// TestStatsRuntimeBlock checks the process-telemetry and observability
+// blocks of /stats.
+func TestStatsRuntimeBlock(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	q := sampleQuery(t, 60)
+	var resp SearchResponse
+	postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(q), Sigma: 2}, &resp)
+
+	var st ServerStats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.Runtime.Goroutines < 1 {
+		t.Errorf("runtime.goroutines = %d", st.Runtime.Goroutines)
+	}
+	if st.Runtime.HeapBytes == 0 {
+		t.Error("runtime.heap_bytes = 0")
+	}
+	if st.UptimeMS <= 0 {
+		t.Error("uptime_ms not positive")
+	}
+	sl := st.Observability.StageLatency
+	for _, stage := range []string{"plan", "filter", "verify"} {
+		if sl[stage].Count == 0 {
+			t.Errorf("observability.stage_latency[%s].count = 0 after a search", stage)
+		}
+	}
+	if verify := sl["verify"]; verify.P99MS < verify.P50MS {
+		t.Errorf("verify p99 %v < p50 %v", verify.P99MS, verify.P50MS)
+	}
+}
+
+// TestTracedBackendInterface pins that both public backends satisfy the
+// optional tracing surface the server probes for.
+func TestTracedBackendInterface(t *testing.T) {
+	var _ tracedBackend = (*pis.Sharded)(nil)
+	var _ tracedBackend = (*pis.Database)(nil)
+}

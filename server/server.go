@@ -27,12 +27,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"pis"
+	"pis/internal/obs"
 )
 
 // Backend is the database surface the server needs. Both *pis.Database and
@@ -70,6 +72,15 @@ type Config struct {
 	// request does not specify workers (0 = the backend's default,
 	// GOMAXPROCS).
 	BatchWorkers int
+	// SlowQueryThreshold logs any /search or /knn request at or over
+	// this duration through Logger and counts it in
+	// pis_slow_queries_total (0 disables the slow-query log).
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query records (nil = slog.Default()).
+	Logger *slog.Logger
+	// QueryLogSize is the /debug/queries ring capacity in queries
+	// (0 = 256; negative keeps the minimum of 1).
+	QueryLogSize int
 }
 
 // maxRequestBody bounds a request body; a /batch of thousands of
@@ -91,6 +102,8 @@ type Server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	start   time.Time
+	qlog    *obs.QueryLog
+	logger  *slog.Logger
 
 	mu        sync.Mutex
 	metrics   map[string]*endpointMetrics
@@ -106,12 +119,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize < 0 {
 		cfg.CacheSize = 0
 	}
+	qlogSize := cfg.QueryLogSize
+	if qlogSize == 0 {
+		qlogSize = defaultQueryLogSize
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		backend: cfg.Backend,
 		cfg:     cfg,
 		cache:   newLRUCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		qlog:    obs.NewQueryLog(qlogSize),
+		logger:  logger,
 		metrics: make(map[string]*endpointMetrics),
 	}
 	if cfg.MaxInFlight > 0 {
@@ -126,10 +149,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /compact", s.instrument("compact", true, s.handleCompact))
 	s.mux.HandleFunc("POST /checkpoint", s.instrument("checkpoint", true, s.handleCheckpoint))
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/queries", s.instrument("debug_queries", false, s.handleDebugQueries))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.registerGauges()
 	return s, nil
 }
 
@@ -167,6 +193,11 @@ func (w *statusWriter) WriteHeader(code int) {
 // instrument wraps a handler with request timing and, when limited is
 // true, the in-flight semaphore.
 func (s *Server) instrument(name string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	// Pre-resolved obs children: the per-request cost is two atomic adds
+	// and one histogram observe, no vec-lock lookups.
+	obsReqs := httpRequests.With(name)
+	obsErrs := httpErrors.With(name)
+	obsLat := httpSeconds.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if limited && s.sem != nil {
 			select {
@@ -193,6 +224,11 @@ func (s *Server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			m.Errors++
 		}
 		s.mu.Unlock()
+		obsReqs.Inc()
+		obsLat.Observe(elapsed.Seconds())
+		if sw.status >= 400 {
+			obsErrs.Inc()
+		}
 	}
 }
 
@@ -262,17 +298,32 @@ func (s *Server) recordPlan(st pis.SearchStats) {
 	s.mu.Unlock()
 }
 
-func (s *Server) searchResponse(q *pis.Graph, sigma float64) SearchResponse {
+// searchResponse answers one /search (or /batch member) query through
+// the cache. With trace set the miss path runs the tracing search and
+// attaches the span tree AFTER caching, so a cached response never
+// carries a stale trace: a later hit gets a cache-hit stub span instead.
+func (s *Server) searchResponse(q *pis.Graph, sigma float64, trace bool) SearchResponse {
 	var key string
 	if s.cache.Enabled() {
 		key = searchKey(q, sigma)
 		if v, ok := s.cache.Get(key); ok {
 			resp := v.(SearchResponse)
 			resp.Cached = true
+			if trace {
+				resp.Trace = &pis.TraceSpan{Name: "search", Attrs: map[string]any{"cache_hit": true}}
+			}
 			return resp
 		}
 	}
 	gen := s.cache.Gen()
+	if trace {
+		if tb, ok := s.backend.(tracedBackend); ok {
+			r, sp := tb.SearchTraced(q, sigma)
+			resp := s.cacheSearchResult(key, r, gen)
+			resp.Trace = sp
+			return resp
+		}
+	}
 	return s.cacheSearchResult(key, s.backend.Search(q, sigma), gen)
 }
 
@@ -290,8 +341,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp := s.searchResponse(q, req.Sigma)
+	resp := s.searchResponse(q, req.Sigma, traceRequested(r))
 	resp.ElapsedMS = msSince(start)
+	if resp.Trace != nil && resp.Cached {
+		// The stub span's duration is the (cheap) cache lookup itself.
+		resp.Trace.DurationMS = resp.ElapsedMS
+	}
+	s.observeQuery("search", q, req.Sigma, len(resp.Answers), resp.Cached, resp.ElapsedMS, resp.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -320,6 +376,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			resp := v.(KNNResponse)
 			resp.Cached = true
 			resp.ElapsedMS = msSince(start)
+			s.observeQuery("knn", q, req.MaxSigma, len(resp.Neighbors), true, resp.ElapsedMS, nil)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -332,6 +389,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.PutAt(key, resp, gen)
 	resp.ElapsedMS = msSince(start)
+	s.observeQuery("knn", q, req.MaxSigma, len(resp.Neighbors), false, resp.ElapsedMS, nil)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -390,7 +448,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[missIdx[j]] = s.cacheSearchResult(missKeys[j], r, gen)
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ElapsedMS: msSince(start)})
+	elapsed := msSince(start)
+	s.observeQuery("batch", nil, req.Sigma, len(results), len(missQueries) == 0, elapsed, nil)
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, ElapsedMS: elapsed})
 }
 
 // pathID parses the {id} path segment as a graph id, rejecting values
@@ -626,6 +686,8 @@ type ServerStats struct {
 	Requests      map[string]EndpointStatsJSON `json:"requests"`
 	InFlightLimit int                          `json:"inflight_limit,omitempty"`
 	UptimeMS      float64                      `json:"uptime_ms"`
+	Observability ObservabilityJSON            `json:"observability"`
+	Runtime       RuntimeStatsJSON             `json:"runtime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -644,6 +706,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      make(map[string]EndpointStatsJSON),
 		InFlightLimit: s.cfg.MaxInFlight,
 		UptimeMS:      msSince(s.start),
+		Observability: s.observabilityStats(),
+		Runtime:       runtimeStats(),
 	}
 	if sh, ok := s.backend.(interface{ NumShards() int }); ok {
 		out.Shards = sh.NumShards()
