@@ -70,6 +70,10 @@ func main() {
 		maxFrag  = flag.Int("maxfrag", 5, "maximum indexed fragment size (edges)")
 		cache    = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		inflight = flag.Int("inflight", 0, "max concurrently executing query requests (0 = unlimited)")
+		maxQueue = flag.Int("max-queue", 0, "max query requests waiting for an -inflight slot before shedding with 429 (0 = 4x inflight, negative = no queue)")
+		quWait   = flag.Duration("queue-wait", 0, "shed a queued query request with 429 after waiting this long for a slot (0 = wait as long as the client)")
+		qTimeout = flag.Duration("query-timeout", 0, "per-query execution deadline, e.g. 5s; exceeded queries return 504 (0 disables)")
+		shutdown = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 		dataDir  = flag.String("data-dir", "", "durable store directory: recovered when present (no -db needed), created from -db/-gen otherwise; legacy -index-dir layouts migrate in place")
 		compact  = flag.Float64("compact-fraction", 0.25, "auto-compact a shard when its insert delta exceeds this fraction of its indexed size (negative disables)")
 
@@ -93,6 +97,7 @@ func main() {
 
 	opts := pis.Options{
 		MaxFragmentEdges: *maxFrag,
+		QueryTimeout:     *qTimeout,
 		CompactFraction:  *compact,
 		PlannerOff:       *plannerOff,
 		PlannerBudget:    *plannerBudget,
@@ -142,6 +147,9 @@ func main() {
 		Backend:            db,
 		CacheSize:          *cache,
 		MaxInFlight:        *inflight,
+		MaxQueue:           *maxQueue,
+		QueueWait:          *quWait,
+		ShutdownTimeout:    *shutdown,
 		SlowQueryThreshold: *slowQuery,
 		QueryLogSize:       *qlogSize,
 	})

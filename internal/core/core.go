@@ -25,6 +25,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"slices"
@@ -125,6 +128,11 @@ type Stats struct {
 	PlanTime   time.Duration
 	FilterTime time.Duration
 	VerifyTime time.Duration
+	// Partial marks a result cut short by context cancellation: Answers
+	// is a correct subset of the full answer set (only fully verified
+	// graphs are admitted), but graphs whose verification was aborted are
+	// missing.
+	Partial bool
 }
 
 // Result is the outcome of one search.
@@ -138,6 +146,24 @@ type Result struct {
 	// Candidates are the graph ids that reached verification, ascending.
 	Candidates []int32
 	Stats      Stats
+}
+
+// PanicError wraps a panic recovered in a verification worker. The
+// context-aware search paths return it as an error so one poisonous
+// query cannot take down the process; the legacy non-context paths
+// re-panic the original value, preserving their contract.
+type PanicError struct{ Val any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("core: panic during verification: %v", e.Val) }
+
+// rethrow resurfaces a recovered verification panic on the legacy
+// non-context paths; any other error (only cancellation, impossible with
+// a background context) passes through silently.
+func rethrow(err error) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Val)
+	}
 }
 
 // View is an immutable snapshot of the mutable overlay of one database
@@ -278,8 +304,9 @@ func (s *Searcher) SearchNaiveView(q *graph.Graph, sigma float64, view View) Res
 	r.Stats.RangeCandidates = len(r.Candidates)
 	r.Stats.DistCandidates = len(r.Candidates)
 	sc := s.getScratch()
-	s.verify(q, sigma, &r, nil, sc, view)
+	err := s.verify(q, sigma, &r, nil, sc, view, nil)
 	s.putScratch(sc)
+	rethrow(err)
 	r.Stats.record(mQueriesNaive)
 	return r
 }
@@ -306,8 +333,9 @@ func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View)
 	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
 	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
 	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r, nil, sc, view)
+	err := s.verify(q, sigma, &r, nil, sc, view, nil)
 	s.putScratch(sc)
+	rethrow(err)
 	r.Stats.record(mQueriesTopo)
 	return r
 }
@@ -323,10 +351,26 @@ func (s *Searcher) Search(q *graph.Graph, sigma float64) Result {
 // lower bound, so the best-first verifier handles them first and the
 // answer set is exactly a fresh index over the surviving graphs.
 func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
+	r, err := s.SearchViewCtx(context.Background(), q, sigma, view)
+	rethrow(err)
+	return r
+}
+
+// SearchViewCtx is SearchView under a context: cancellation is polled at
+// the range-expansion boundaries of the filter, between verification
+// claims, and inside the branch-and-bound verifier itself (amortized —
+// see iso.Verifier.SetDone), so a canceled query frees its workers
+// within about one verification granule. A canceled query returns the
+// context error together with a partial Result (Stats.Partial set):
+// every returned answer is fully verified, graphs whose verification
+// was cut short are simply missing. A panic in a verification worker is
+// recovered and returned as a *PanicError.
+func (s *Searcher) SearchViewCtx(ctx context.Context, q *graph.Graph, sigma float64, view View) (Result, error) {
 	var r Result
 	start := time.Now()
+	done := ctx.Done() // nil for background contexts: zero overhead
 	sc := s.getScratch()
-	cands, lbs := s.filter(q, sigma, &r.Stats, sc, view.Tombs)
+	cands, lbs := s.filter(q, sigma, &r.Stats, sc, view.Tombs, done)
 	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
 	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
 	if lbs != nil {
@@ -336,10 +380,15 @@ func (s *Searcher) SearchView(q *graph.Graph, sigma float64, view View) Result {
 		sc.lbs = lbs
 	}
 	r.Stats.FilterTime = time.Since(start)
-	s.verify(q, sigma, &r, lbs, sc, view)
+	err := s.verify(q, sigma, &r, lbs, sc, view, done)
 	s.putScratch(sc)
+	if err == nil && ctx.Err() != nil {
+		r.Stats.Partial = true
+		mQueriesCanceled.Inc()
+		err = ctx.Err()
+	}
 	r.Stats.record(mQueriesPIS)
-	return r
+	return r, err
 }
 
 // plan ranks the usable fragments by estimated pruning power per unit
@@ -395,7 +444,7 @@ func (s *Searcher) plan(frags []index.QueryFragment, sigma float64, sc *scratch)
 // verification. Skipping range queries can only leave extra candidates
 // behind, and verification is exact, so answers never change; only the
 // filtering effort and the per-stage counters do.
-func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch, tombs *index.Tombstones) (cands []int32, lbs []float64) {
+func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch, tombs *index.Tombstones, done <-chan struct{}) (cands []int32, lbs []float64) {
 	n := len(s.db)
 	frags := s.usableFragments(q, sigma, st)
 
@@ -427,6 +476,12 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 	dryStreak := 0
 	for _, fi := range order {
 		if len(cur) == 0 || len(cur) <= crossover {
+			break
+		}
+		if canceled(done) {
+			// Stop expanding: the surviving (over-approximate) candidate
+			// set stays correct, and verification will bail out just as
+			// fast. One poll per range query, never per candidate.
 			break
 		}
 		if probs != nil {
@@ -666,10 +721,14 @@ func (s *Searcher) candGraph(view View, id int32) *graph.Graph {
 // best-first (ascending partition lower bound) across a worker pool. The
 // answer set is deterministic for any worker count: every candidate is
 // verified against the same fixed budget σ and answers are assembled in
-// ascending id order afterwards.
-func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch, view View) {
+// ascending id order afterwards. A non-nil done channel aborts the pool
+// early; unverified candidates keep an infinite distance, so they are
+// conservatively excluded and the partial answer set stays a subset of
+// the full one. The returned error is a *PanicError when a worker
+// panicked, nil otherwise.
+func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch, view View, done <-chan struct{}) error {
 	if s.opts.SkipVerification {
-		return
+		return nil
 	}
 	start := time.Now()
 	r.Answers = []int32{}
@@ -678,19 +737,25 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 	r.Stats.Verified = nc
 	if nc == 0 {
 		r.Stats.VerifyTime = time.Since(start)
-		return
+		return nil
 	}
 	dists := sc.vdists[:0]
 	for i := 0; i < nc; i++ {
-		dists = append(dists, 0)
+		// Infinite, not zero: a candidate whose verification never ran
+		// (cancellation, sibling panic) must not read as distance 0.
+		dists = append(dists, distance.Infinite)
 	}
 	sc.vdists = dists
 
 	order := s.verifyOrder(nc, lbs, sc)
-	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
+	err := s.forEachCandidate(q, s.verifyWorkers(nc), nc, done, func(v *iso.Verifier, i int) {
 		j := order[i]
 		dists[j] = v.Distance(s.candGraph(view, cands[j]), sigma)
 	})
+	if err != nil {
+		r.Stats.VerifyTime = time.Since(start)
+		return err
+	}
 	for i, id := range cands {
 		if d := dists[i]; !distance.IsInfinite(d) && d <= sigma {
 			r.Answers = append(r.Answers, id)
@@ -698,6 +763,7 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 		}
 	}
 	r.Stats.VerifyTime = time.Since(start)
+	return nil
 }
 
 // searchKNNOnce runs the PIS filter at radius sigma, then verifies
@@ -711,11 +777,11 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 // result is deterministic for any worker count: a candidate skipped by
 // the shared bound is strictly farther than the final k-th neighbor, so
 // it can never displace one.
-func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View) []Neighbor {
+func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View, done <-chan struct{}) ([]Neighbor, error) {
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	var st Stats
-	cands, lbs := s.filter(q, sigma, &st, sc, view.Tombs)
+	cands, lbs := s.filter(q, sigma, &st, sc, view.Tombs, done)
 	if len(view.Delta) > 0 {
 		nb := len(cands)
 		cands = view.appendLiveDelta(cands, len(s.db))
@@ -730,7 +796,7 @@ func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View
 	nc := len(cands)
 	best := make([]Neighbor, 0, k)
 	if nc == 0 {
-		return best
+		return best, nil
 	}
 
 	var boundBits atomic.Uint64
@@ -775,44 +841,88 @@ func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View
 	}
 
 	order := s.verifyOrder(nc, lbs, sc)
-	s.forEachCandidate(q, s.verifyWorkers(nc), nc, func(v *iso.Verifier, i int) {
+	err := s.forEachCandidate(q, s.verifyWorkers(nc), nc, done, func(v *iso.Verifier, i int) {
 		j := order[i]
 		budget := math.Float64frombits(boundBits.Load())
 		if d := v.Distance(s.candGraph(view, cands[j]), budget); !distance.IsInfinite(d) {
 			record(cands[j], d)
 		}
 	})
-	return best
+	return best, err
 }
+
+// claimPollMask amortizes the done-channel poll in the claim loop: one
+// poll every 16 claimed candidates (the branch-and-bound inside each
+// claim polls on its own finer granule).
+const claimPollMask = 15
 
 // forEachCandidate claims indices 0..nc-1 across a worker pool, each
 // worker holding one reusable Verifier for q; workers == 1 runs inline
-// with no goroutines.
-func (s *Searcher) forEachCandidate(q *graph.Graph, workers, nc int, fn func(v *iso.Verifier, i int)) {
-	if workers == 1 {
-		v := iso.NewVerifier(q, s.metric)
-		for i := 0; i < nc; i++ {
-			fn(v, i)
-		}
-		return
-	}
+// with no goroutines. A close of done drains the pool early (claimed
+// work finishes aborted via the verifier's own done hook). A panic in
+// fn is recovered, aborts every sibling at its next claim, and surfaces
+// as a returned *PanicError holding the first panic value.
+func (s *Searcher) forEachCandidate(q *graph.Graph, workers, nc int, done <-chan struct{}, fn func(v *iso.Verifier, i int)) error {
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			v := iso.NewVerifier(q, s.metric)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= nc {
-					return
-				}
-				fn(v, i)
+	var abort atomic.Bool
+	var panicOnce sync.Once
+	var panicked *PanicError
+	body := func() {
+		defer func() {
+			if val := recover(); val != nil {
+				panicOnce.Do(func() { panicked = &PanicError{Val: val} })
+				abort.Store(true)
+				mVerifyPanics.Inc()
 			}
 		}()
+		v := iso.NewVerifier(q, s.metric)
+		v.SetDone(done)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= nc || abort.Load() {
+				return
+			}
+			if done != nil && i&claimPollMask == 0 {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			fn(v, i)
+		}
 	}
-	wg.Wait()
+	if workers == 1 {
+		body()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		wg.Wait()
+	}
+	if panicked != nil {
+		return panicked
+	}
+	return nil
+}
+
+// canceled is a non-blocking poll of a context done channel (nil = never
+// canceled).
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // intersectSorted appends the intersection of two ascending id lists to

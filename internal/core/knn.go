@@ -9,7 +9,11 @@
 
 package core
 
-import "pis/internal/graph"
+import (
+	"context"
+
+	"pis/internal/graph"
+)
 
 // Neighbor is one kNN result.
 type Neighbor struct {
@@ -31,8 +35,20 @@ func (s *Searcher) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64
 // never surface, and live delta graphs compete for the k slots through
 // the same shared shrinking radius as the indexed candidates.
 func (s *Searcher) SearchKNNView(q *graph.Graph, k int, startSigma, maxSigma float64, view View) []Neighbor {
+	ns, err := s.SearchKNNViewCtx(context.Background(), q, k, startSigma, maxSigma, view)
+	rethrow(err)
+	return ns
+}
+
+// SearchKNNViewCtx is SearchKNNView under a context. Cancellation is
+// checked between expansion passes and inside each pass's verification
+// pool; a canceled call returns the context error with whatever
+// neighbors were fully verified so far (they are genuine neighbors, but
+// closer ones may be missing). A verification panic surfaces as a
+// *PanicError.
+func (s *Searcher) SearchKNNViewCtx(ctx context.Context, q *graph.Graph, k int, startSigma, maxSigma float64, view View) ([]Neighbor, error) {
 	if k <= 0 || maxSigma < 0 {
-		return nil
+		return nil, nil
 	}
 	if s.opts.SkipVerification {
 		// kNN needs exact distances; run with verification regardless.
@@ -40,6 +56,7 @@ func (s *Searcher) SearchKNNView(q *graph.Graph, k int, startSigma, maxSigma flo
 		opts.SkipVerification = false
 		s = NewSearcher(s.db, s.idx, opts)
 	}
+	done := ctx.Done()
 	sigma := startSigma
 	if sigma <= 0 {
 		sigma = 1
@@ -48,9 +65,16 @@ func (s *Searcher) SearchKNNView(q *graph.Graph, k int, startSigma, maxSigma flo
 		sigma = maxSigma
 	}
 	for {
-		ns := s.searchKNNOnce(q, k, sigma, view)
+		ns, err := s.searchKNNOnce(q, k, sigma, view, done)
+		if err != nil {
+			return ns, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			mQueriesCanceled.Inc()
+			return ns, cerr
+		}
 		if len(ns) >= k || sigma >= maxSigma {
-			return ns
+			return ns, nil
 		}
 		sigma *= 2
 		if sigma > maxSigma {

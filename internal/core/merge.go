@@ -20,6 +20,7 @@ func (s *Stats) Add(o Stats) {
 	s.PlanTime += o.PlanTime
 	s.FilterTime += o.FilterTime
 	s.VerifyTime += o.VerifyTime
+	s.Partial = s.Partial || o.Partial
 }
 
 // MergeGlobal stitches per-shard results that already carry global ids

@@ -29,6 +29,13 @@ var (
 		"pis_query_fragments_total",
 		"Fragment-funnel volume by stage: indexed fragments found in queries, kept after the epsilon filter, and whose sigma range query actually ran.",
 		"stage")
+	panicsTotal = obs.Default().CounterVec(
+		"pis_panics_total",
+		"Panics recovered instead of crashing the process, by site (verify worker, http handler).",
+		"site")
+	mQueriesCanceled = obs.Default().Counter(
+		"pis_queries_canceled_total",
+		"Searches cut short by context cancellation or deadline (partial results).")
 )
 
 // Pre-resolved children so the per-query path never takes a vec lock.
@@ -46,6 +53,7 @@ var (
 	mFragsQuery    = fragmentsTotal.With("query")
 	mFragsUsed     = fragmentsTotal.With("used")
 	mFragsExpanded = fragmentsTotal.With("expanded")
+	mVerifyPanics  = panicsTotal.With("verify")
 )
 
 // record publishes one finished query's Stats into the registry.

@@ -226,7 +226,18 @@ type Verifier struct {
 	metric distance.Metric
 	m      matcher
 	empty  bool // q has no vertices: every distance is 0
+
+	// done, when non-nil, aborts in-flight Distance calls once it closes.
+	// Polled every abortGranule explored nodes so cancellation costs one
+	// amortized channel poll, not a per-node check.
+	done  <-chan struct{}
+	nodes uint64
 }
+
+// abortGranule is the branch-and-bound node count between cancellation
+// polls: large enough to vanish in the profile, small enough that an
+// abort lands within a fraction of a millisecond of search work.
+const abortGranule = 1024
 
 // NewVerifier prepares a verifier for query q under the given metric. q
 // must be connected (or empty).
@@ -238,6 +249,29 @@ func NewVerifier(q *graph.Graph, metric distance.Metric) *Verifier {
 	}
 	v.m.patternPlan = newPatternPlan(q)
 	return v
+}
+
+// SetDone arms cancellation: after done closes, Distance returns
+// distance.Infinite within about one abortGranule of node expansions.
+// nil disarms. A canceled Distance is a conservative "not within budget",
+// never a wrong finite value.
+func (v *Verifier) SetDone(done <-chan struct{}) { v.done = done }
+
+// aborted polls the done channel at the amortization granule.
+func (v *Verifier) aborted() bool {
+	if v.done == nil {
+		return false
+	}
+	v.nodes++
+	if v.nodes&(abortGranule-1) != 0 {
+		return false
+	}
+	select {
+	case <-v.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Distance computes d(Q,G) of Definition 1: the minimum metric cost over
@@ -266,8 +300,16 @@ func (v *Verifier) Distance(g *graph.Graph, budget float64) float64 {
 	// Incremental cost per depth: when order[k] is assigned we add its
 	// vertex cost plus the costs of every pattern edge whose other endpoint
 	// is already assigned.
+	stopped := false
 	var rec func(k int, acc float64)
 	rec = func(k int, acc float64) {
+		if stopped {
+			return
+		}
+		if v.aborted() {
+			stopped = true
+			return
+		}
 		if acc > limit || acc >= best {
 			return
 		}
@@ -316,7 +358,7 @@ func (v *Verifier) Distance(g *graph.Graph, budget float64) float64 {
 		}
 	}
 	rec(0, 0)
-	if best > limit {
+	if stopped || best > limit {
 		return distance.Infinite
 	}
 	return best

@@ -35,6 +35,7 @@
 package segment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -73,6 +74,9 @@ type Config struct {
 	// len(delta) > CompactFraction * len(base). <= 0 disables the trigger;
 	// Compact can still be called explicitly.
 	CompactFraction float64
+	// FS routes the backing store's disk operations; nil means the real
+	// filesystem. Fault-injection tests swap in internal/faultfs here.
+	FS store.FS
 }
 
 // Segment is one mutable database slice. All methods are safe for
@@ -174,7 +178,7 @@ func (s *Segment) Persist(dir string) error {
 	if s.st != nil {
 		return fmt.Errorf("segment: already durable (store at %s)", s.st.Dir())
 	}
-	st, err := store.Create(dir)
+	st, err := store.CreateFS(dir, s.cfg.FS)
 	if err != nil {
 		return err
 	}
@@ -209,7 +213,7 @@ func (s *Segment) AbandonStore() {
 // acknowledged pre-crash state. A torn WAL tail is dropped and reported
 // in StoreStats().Recovery.
 func OpenDurable(dir string, cfg Config) (*Segment, error) {
-	st, snap, recs, err := store.Open(dir, cfg.Index.Metric)
+	st, snap, recs, err := store.OpenFS(dir, cfg.Index.Metric, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +350,18 @@ func (s *Segment) Search(q *graph.Graph, sigma float64) core.Result {
 	return r
 }
 
+// SearchCtx is Search under a context: a canceled or timed-out query
+// returns the context error together with a partial result (see
+// core.Searcher.SearchViewCtx); a verification panic surfaces as a
+// *core.PanicError. The partial result's ids are remapped to global ids
+// like any other, so callers can use it directly.
+func (s *Segment) SearchCtx(ctx context.Context, q *graph.Graph, sigma float64) (core.Result, error) {
+	sn := s.snapshot()
+	r, err := sn.srch.SearchViewCtx(ctx, q, sigma, sn.view)
+	sn.remap(&r)
+	return r, err
+}
+
 // SearchNaive verifies every live graph (the reference answer).
 func (s *Segment) SearchNaive(q *graph.Graph, sigma float64) core.Result {
 	sn := s.snapshot()
@@ -372,6 +388,18 @@ func (s *Segment) SearchKNN(q *graph.Graph, k int, startSigma, maxSigma float64)
 		ns[i].ID = sn.global(ns[i].ID)
 	}
 	return ns
+}
+
+// SearchKNNCtx is SearchKNN under a context; on cancellation the
+// neighbors verified so far are returned (global ids) with the context
+// error.
+func (s *Segment) SearchKNNCtx(ctx context.Context, q *graph.Graph, k int, startSigma, maxSigma float64) ([]core.Neighbor, error) {
+	sn := s.snapshot()
+	ns, err := sn.knn.SearchKNNViewCtx(ctx, q, k, startSigma, maxSigma, sn.view)
+	for i := range ns {
+		ns[i].ID = sn.global(ns[i].ID)
+	}
+	return ns, err
 }
 
 // Insert appends g to the delta under the caller-assigned global id,

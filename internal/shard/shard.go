@@ -29,6 +29,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -63,6 +65,9 @@ type Config struct {
 	// shard's delta outgrows this fraction of its indexed base (<= 0
 	// disables the trigger).
 	CompactFraction float64
+	// FS routes every shard store's disk operations; nil means the real
+	// filesystem (fault-injection tests swap in internal/faultfs).
+	FS store.FS
 }
 
 // segmentConfig translates the shard config for one of nShards segments:
@@ -78,6 +83,7 @@ func (cfg Config) segmentConfig(nShards int) segment.Config {
 		KNNCore:         cfg.Core,
 		IndexWorkers:    cfg.IndexWorkers,
 		CompactFraction: cfg.CompactFraction,
+		FS:              cfg.FS,
 	}
 }
 
@@ -324,6 +330,13 @@ func (d *DB) StoreStats() (agg store.Stats, ok bool) {
 		if i == 0 || s.Recovery.SnapshotSeq < agg.Recovery.SnapshotSeq {
 			agg.Recovery.SnapshotSeq = s.Recovery.SnapshotSeq
 		}
+		if s.Poisoned && !agg.Poisoned {
+			// First poisoned shard names the database's degradation cause;
+			// one read-only shard makes the whole database read-only for
+			// inserts (routing cannot promise to avoid it).
+			agg.Poisoned = true
+			agg.PoisonReason = fmt.Sprintf("shard %d: %s", i, s.PoisonReason)
+		}
 	}
 	return agg, true
 }
@@ -536,6 +549,45 @@ func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
 	return core.MergeGlobal(parts)
 }
 
+// SearchCtx is Search under a context. Every shard inherits a derived
+// context that is canceled as soon as any shard fails (panic in a
+// verify worker) or the parent context fires, so one sick shard frees
+// its siblings' verification workers instead of letting them run the
+// query to completion for a result nobody will see. On cancellation
+// the merged partial result (Stats.Partial set) is returned with the
+// first error.
+func (d *DB) SearchCtx(ctx context.Context, q *graph.Graph, sigma float64) (core.Result, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]core.Result, len(d.segs))
+	errs := make([]error, len(d.segs))
+	var wg sync.WaitGroup
+	for i, seg := range d.segs {
+		wg.Add(1)
+		go func(i int, seg *segment.Segment) {
+			defer wg.Done()
+			parts[i], errs[i] = seg.SearchCtx(sctx, q, sigma)
+			if errs[i] != nil {
+				cancel() // first failure reins in every sibling shard
+			}
+		}(i, seg)
+	}
+	wg.Wait()
+	r := core.MergeGlobal(parts)
+	for _, err := range errs {
+		if err != nil {
+			// Prefer the parent context's own error: a sibling canceled by
+			// the fan-out reports context.Canceled even when the root cause
+			// was a deadline on ctx.
+			if cerr := ctx.Err(); cerr != nil {
+				return r, cerr
+			}
+			return r, err
+		}
+	}
+	return r, nil
+}
+
 // SearchBatch answers many queries, each fanning out across all shards,
 // with at most workers queries in flight at once (0 = GOMAXPROCS, the
 // same default as the unsharded batch). Each query snapshots the
@@ -560,6 +612,40 @@ func (d *DB) SearchBatch(queries []*graph.Graph, sigma float64, workers int) []c
 	return out
 }
 
+// SearchBatchCtx is SearchBatch under a context: queries not yet
+// launched when the context fires are skipped (their Results stay
+// zero), in-flight ones are canceled, and the first error is returned
+// alongside whatever completed.
+func (d *DB) SearchBatchCtx(ctx context.Context, queries []*graph.Graph, sigma float64, workers int) ([]core.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]core.Result, len(queries))
+	errs := make([]error, len(queries))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		if ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *graph.Graph) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = d.SearchCtx(ctx, q, sigma)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // SearchKNN returns the k nearest live graphs under the superimposed
 // distance, closest first (ties by ascending global id), searching no
 // farther than maxSigma. Shards are visited in order with a shrinking
@@ -568,8 +654,31 @@ func (d *DB) SearchBatch(queries []*graph.Graph, sigma float64, workers int) []c
 // seed the shard's threshold expansion so the pass is a single range
 // query.
 func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor {
+	ns, err := d.searchKNN(context.Background(), q, k, maxSigma)
+	if err != nil {
+		// Background context never cancels; only a verification panic can
+		// land here. Re-panic the original value, preserving the legacy
+		// contract.
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			panic(pe.Val)
+		}
+		panic(err)
+	}
+	return ns
+}
+
+// SearchKNNCtx is SearchKNN under a context: cancellation is checked
+// between the sequential per-shard passes and inside each pass's
+// verification pool. Canceled calls return the fully verified neighbors
+// found so far with the context error.
+func (d *DB) SearchKNNCtx(ctx context.Context, q *graph.Graph, k int, maxSigma float64) ([]core.Neighbor, error) {
+	return d.searchKNN(ctx, q, k, maxSigma)
+}
+
+func (d *DB) searchKNN(ctx context.Context, q *graph.Graph, k int, maxSigma float64) ([]core.Neighbor, error) {
 	if k <= 0 || maxSigma < 0 {
-		return nil
+		return nil, nil
 	}
 	radius := maxSigma
 	var best []core.Neighbor
@@ -579,7 +688,10 @@ func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor 
 			// Radius already tight: one pass at exactly the bound suffices.
 			start = radius
 		}
-		ns := seg.SearchKNN(q, k, start, radius)
+		ns, err := seg.SearchKNNCtx(ctx, q, k, start, radius)
+		if err != nil {
+			return best, err
+		}
 		best = append(best, ns...)
 		sort.SliceStable(best, func(i, j int) bool {
 			if best[i].Distance != best[j].Distance {
@@ -594,7 +706,7 @@ func (d *DB) SearchKNN(q *graph.Graph, k int, maxSigma float64) []core.Neighbor 
 			radius = best[k-1].Distance
 		}
 	}
-	return best
+	return best, nil
 }
 
 // Stats sums the per-shard base index counters.

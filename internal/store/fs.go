@@ -1,0 +1,58 @@
+// Filesystem seam: every disk operation the store performs goes through
+// the FS interface, with OSFS (the real os package calls) as the default.
+// Production code never notices the indirection; fault-injection tests
+// swap in internal/faultfs to fail the nth fsync, tear a write short, or
+// delay operations, turning "what if the disk dies mid-append" from a
+// thought experiment into a deterministic unit test.
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the store's view of one open file. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem operations the store performs. All methods
+// mirror the os package functions of the same name. Implementations must
+// be safe for concurrent use (the os package is).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Stat(name string) (os.FileInfo, error)
+	ReadFile(name string) ([]byte, error)
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+}
+
+// OSFS is the real filesystem: every method is the matching os call.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }

@@ -38,6 +38,13 @@ var (
 	mSnapshotLastBytes = obs.Default().Gauge(
 		"pis_snapshot_last_bytes",
 		"Size of the most recently written snapshot.")
+
+	mStorePoisoned = obs.Default().Gauge(
+		"pis_store_poisoned",
+		"1 when any store in this process has latched a disk fault and degraded to read-only.")
+	mPoisonEvents = obs.Default().Counter(
+		"pis_store_poison_events_total",
+		"Disk faults that poisoned a store (first fault per store).")
 )
 
 // countingWriter tracks bytes written through it.

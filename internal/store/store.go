@@ -29,6 +29,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -101,76 +102,107 @@ type Stats struct {
 	Checkpoints    int64     // snapshots written by this process
 	LastCheckpoint time.Time // zero when no snapshot was written yet
 	Recovery       RecoveryStats
+	// Poisoned reports the store is in degraded read-only mode after a
+	// disk fault; PoisonReason carries the original error text.
+	Poisoned     bool
+	PoisonReason string
 }
+
+// ErrPoisoned is wrapped by every mutation error after a disk fault has
+// poisoned the store. Use errors.Is to detect it.
+var ErrPoisoned = errors.New("store poisoned (read-only after a disk fault)")
 
 // Store is the durable backing of one segment. Appends and checkpoints
 // are safe for concurrent use.
 type Store struct {
 	dir string
+	fs  FS
 
 	mu             sync.Mutex
-	wal            *os.File
+	wal            File
 	walRecords     int64
 	walBytes       int64
 	seq            uint64
 	checkpoints    int64
 	lastCheckpoint time.Time
 	recovery       RecoveryStats
+	// poisoned latches the first WAL/snapshot disk fault. Once set, every
+	// later mutation fails with ErrPoisoned: after a failed fsync the
+	// kernel may have dropped the dirty pages, so "retry and hope" can
+	// acknowledge a mutation that never reached disk. Reads are untouched.
+	poisoned error
 }
 
 // Exists reports whether dir holds an initialized segment store.
-func Exists(dir string) bool {
-	_, err := os.Stat(filepath.Join(dir, manifestName))
+func Exists(dir string) bool { return existsFS(OSFS, dir) }
+
+func existsFS(fs FS, dir string) bool {
+	_, err := fs.Stat(filepath.Join(dir, manifestName))
 	return err == nil
 }
 
-// Create prepares dir for a new segment store. The store is not readable
-// until the first WriteSnapshot establishes the initial (snapshot, WAL)
-// pair; a crash before that leaves no MANIFEST, so a later Open fails
-// cleanly and the caller rebuilds.
-func Create(dir string) (*Store, error) {
-	if Exists(dir) {
+// Create prepares dir for a new segment store on the real filesystem.
+func Create(dir string) (*Store, error) { return CreateFS(dir, nil) }
+
+// CreateFS is Create with an explicit filesystem (nil means OSFS). The
+// store is not readable until the first WriteSnapshot establishes the
+// initial (snapshot, WAL) pair; a crash before that leaves no MANIFEST,
+// so a later Open fails cleanly and the caller rebuilds.
+func CreateFS(dir string, fs FS) (*Store, error) {
+	if fs == nil {
+		fs = OSFS
+	}
+	if existsFS(fs, dir) {
 		return nil, fmt.Errorf("store: %s already holds a segment store", dir)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fs}, nil
 }
 
-// Open recovers the segment state from dir: the newest valid snapshot
-// plus the decoded valid prefix of its WAL, in append order. A torn or
+// Open recovers the segment state from dir on the real filesystem.
+func Open(dir string, metric distance.Metric) (*Store, *Snapshot, []Record, error) {
+	return OpenFS(dir, metric, nil)
+}
+
+// OpenFS is Open with an explicit filesystem (nil means OSFS): it
+// recovers the segment state from dir — the newest valid snapshot plus
+// the decoded valid prefix of its WAL, in append order. A torn or
 // corrupt log tail is truncated away (and reported in Stats().Recovery);
 // the WAL is then reopened for appends, so the store is immediately
 // writable. The metric must match the one the index was built with.
-func Open(dir string, metric distance.Metric) (*Store, *Snapshot, []Record, error) {
-	snapName, walName, err := readManifest(dir)
+func OpenFS(dir string, metric distance.Metric, fs FS) (*Store, *Snapshot, []Record, error) {
+	if fs == nil {
+		fs = OSFS
+	}
+	snapName, walName, err := readManifest(fs, dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	snap, seq, err := loadSnapshot(filepath.Join(dir, snapName), metric)
+	snap, seq, err := loadSnapshot(fs, filepath.Join(dir, snapName), metric)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: snapshot %s: %w", snapName, err)
 	}
 	walPath := filepath.Join(dir, walName)
-	infos, validLen, err := ScanWAL(walPath)
+	infos, validLen, err := scanWAL(fs, walPath)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: wal %s: %w", walName, err)
 	}
-	st := &Store{dir: dir, seq: seq}
-	fi, err := os.Stat(walPath)
+	st := &Store{dir: dir, fs: fs, seq: seq}
+	fi, err := fs.Stat(walPath)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: wal %s: %w", walName, err)
 	}
 	if dropped := fi.Size() - validLen; dropped > 0 {
 		// Truncate the torn tail so new appends continue from a clean
 		// record boundary.
-		if err := os.Truncate(walPath, validLen); err != nil {
+		if err := fs.Truncate(walPath, validLen); err != nil {
 			return nil, nil, nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
 		}
 		st.recovery.DroppedBytes = dropped
 	}
-	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fs.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: reopening wal: %w", err)
 	}
@@ -205,7 +237,7 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		WALRecords:     s.walRecords,
 		WALBytes:       s.walBytes,
 		SnapshotSeq:    s.seq,
@@ -213,6 +245,36 @@ func (s *Store) Stats() Stats {
 		LastCheckpoint: s.lastCheckpoint,
 		Recovery:       s.recovery,
 	}
+	if s.poisoned != nil {
+		st.Poisoned = true
+		st.PoisonReason = s.poisoned.Error()
+	}
+	return st
+}
+
+// Poisoned returns the sticky disk fault that switched the store to
+// read-only mode, or nil while the store is healthy.
+func (s *Store) Poisoned() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisoned
+}
+
+// poisonLocked latches the first disk fault; later mutations are
+// rejected with ErrPoisoned. Requires s.mu held.
+func (s *Store) poisonLocked(op string, cause error) error {
+	err := fmt.Errorf("store: %s: %w", op, cause)
+	if s.poisoned == nil {
+		s.poisoned = err
+		mStorePoisoned.Set(1)
+		mPoisonEvents.Inc()
+	}
+	return fmt.Errorf("%w; store now rejects mutations: %w", err, ErrPoisoned)
+}
+
+// rejectPoisonedLocked is the fast-fail for mutations after a fault.
+func (s *Store) rejectPoisonedLocked() error {
+	return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poisoned)
 }
 
 // AppendInsert durably logs the insertion of g under id: the record is
@@ -242,15 +304,22 @@ func (s *Store) append(payload []byte) error {
 	appendStart := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.poisoned != nil {
+		return s.rejectPoisonedLocked()
+	}
 	if s.wal == nil {
 		return fmt.Errorf("store: no active WAL (store closed or never checkpointed)")
 	}
 	if _, err := s.wal.Write(rec); err != nil {
-		return fmt.Errorf("store: wal append: %w", err)
+		s.truncateToAckedLocked()
+		return s.poisonLocked("wal append", err)
 	}
 	fsyncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: wal fsync: %w", err)
+		// The failed fsync may have dropped any subset of the dirty pages;
+		// nothing past the last acknowledged byte can be trusted.
+		s.truncateToAckedLocked()
+		return s.poisonLocked("wal fsync", err)
 	}
 	mWALFsyncSeconds.ObserveSince(fsyncStart)
 	mWALAppendSeconds.ObserveSince(appendStart)
@@ -261,6 +330,18 @@ func (s *Store) append(payload []byte) error {
 	return nil
 }
 
+// truncateToAckedLocked best-effort cuts the WAL back to the last
+// acknowledged record boundary after a failed append, so a torn frame
+// never sits between the acked prefix and whatever a still-running
+// process might do next. Recovery tolerates a torn tail anyway; this
+// just keeps the on-disk state tidy when the disk still answers.
+// Requires s.mu held.
+func (s *Store) truncateToAckedLocked() {
+	if s.wal != nil {
+		_ = s.wal.Truncate(s.walBytes)
+	}
+}
+
 // WriteSnapshot atomically installs snap as the store's durable state
 // and starts a fresh, empty WAL. Ordering: snapshot file (temp, fsync,
 // rename), then its paired empty WAL, then the MANIFEST swing — a crash
@@ -269,33 +350,36 @@ func (s *Store) append(payload []byte) error {
 func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.poisoned != nil {
+		return s.rejectPoisonedLocked()
+	}
 	snapStart := time.Now()
 	seq := s.seq + 1
 	snapName := fmt.Sprintf("snap-%06d.pissnap", seq)
 	walName := fmt.Sprintf("wal-%06d", seq)
 	var snapBytes int64
-	if err := writeFileAtomic(s.dir, snapName, func(w io.Writer) error {
+	if err := writeFileAtomic(s.fsOrOS(), s.dir, snapName, func(w io.Writer) error {
 		cw := &countingWriter{w: w}
 		err := writeSnapshot(cw, snap, seq)
 		snapBytes = cw.n
 		return err
 	}); err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", err)
+		return s.poisonLocked("writing snapshot", err)
 	}
-	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	wal, err := s.fsOrOS().OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: creating wal: %w", err)
+		return s.poisonLocked("creating wal", err)
 	}
 	if err := wal.Sync(); err != nil {
 		wal.Close()
-		return fmt.Errorf("store: syncing wal: %w", err)
+		return s.poisonLocked("syncing wal", err)
 	}
-	if err := writeFileAtomic(s.dir, manifestName, func(w io.Writer) error {
+	if err := writeFileAtomic(s.fsOrOS(), s.dir, manifestName, func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s\nsnapshot %s\nwal %s\n", manifestMagic, snapName, walName)
 		return err
 	}); err != nil {
 		wal.Close()
-		return fmt.Errorf("store: writing manifest: %w", err)
+		return s.poisonLocked("writing manifest", err)
 	}
 	if s.wal != nil {
 		s.wal.Close()
@@ -312,15 +396,23 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	mSnapshotBytes.Add(snapBytes)
 	mSnapshotLastBytes.Set(float64(snapBytes))
 	if oldSeq > 0 {
-		os.Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%06d.pissnap", oldSeq)))
-		os.Remove(filepath.Join(s.dir, fmt.Sprintf("wal-%06d", oldSeq)))
+		s.fsOrOS().Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%06d.pissnap", oldSeq)))
+		s.fsOrOS().Remove(filepath.Join(s.dir, fmt.Sprintf("wal-%06d", oldSeq)))
 	}
 	return nil
 }
 
+// fsOrOS guards against zero-value Stores constructed in tests.
+func (s *Store) fsOrOS() FS {
+	if s.fs == nil {
+		return OSFS
+	}
+	return s.fs
+}
+
 // readManifest parses the MANIFEST, returning the snapshot and WAL names.
-func readManifest(dir string) (snapName, walName string, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fs FS, dir string) (snapName, walName string, err error) {
+	data, err := fs.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return "", "", fmt.Errorf("store: %s is not a segment store: %w", dir, err)
 	}
@@ -429,8 +521,8 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
 }
 
 // loadSnapshot reads and verifies one snapshot file.
-func loadSnapshot(path string, metric distance.Metric) (*Snapshot, uint64, error) {
-	f, err := os.Open(path)
+func loadSnapshot(fs FS, path string, metric distance.Metric) (*Snapshot, uint64, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -526,7 +618,11 @@ func loadSnapshot(path string, metric distance.Metric) (*Snapshot, uint64, error
 // prefix. A torn or checksum-failing record ends the scan without error:
 // everything from its start offset on is untrusted tail.
 func ScanWAL(path string) ([]RecordInfo, int64, error) {
-	data, err := os.ReadFile(path)
+	return scanWAL(OSFS, path)
+}
+
+func scanWAL(fs FS, path string) ([]RecordInfo, int64, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -587,12 +683,12 @@ func nextRecord(data []byte, off int64) (ri RecordInfo, end int64, ok bool) {
 // writeFileAtomic writes name under dir via a temp file: content, fsync,
 // rename, directory fsync. Readers see the old file or the new one,
 // never a partial write.
-func writeFileAtomic(dir, name string, write func(w io.Writer) error) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+func writeFileAtomic(fs FS, dir, name string, write func(w io.Writer) error) error {
+	tmp, err := fs.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fs.Remove(tmp.Name()) // no-op after a successful rename
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
@@ -604,14 +700,14 @@ func writeFileAtomic(dir, name string, write func(w io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -650,7 +746,7 @@ func WriteRootManifest(root string, shards int) error {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return writeFileAtomic(root, manifestName, func(w io.Writer) error {
+	return writeFileAtomic(OSFS, root, manifestName, func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s\nshards %d\n", rootManifestMagic, shards)
 		return err
 	})

@@ -34,6 +34,8 @@
 package pis
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -56,6 +58,19 @@ import (
 // database that was built in memory instead of opened from a data
 // directory (Create/Open and their sharded variants).
 var ErrNotDurable = segment.ErrNotDurable
+
+// ErrDeadlineExceeded wraps a query that ran past its context deadline
+// (or Options.QueryTimeout). The returned Result still holds whatever
+// answers were fully verified before the cutoff — a correct subset of
+// the complete answer set, flagged with Stats.Partial — so callers can
+// choose between erroring out and serving degraded results.
+var ErrDeadlineExceeded = errors.New("pis: query deadline exceeded")
+
+// ErrStorePoisoned marks mutations rejected because the backing store
+// hit a disk fault (failed WAL append/fsync or snapshot write) and
+// switched to read-only mode to protect the acknowledged prefix.
+// Queries keep working; recover by fixing the disk and reopening.
+var ErrStorePoisoned = store.ErrPoisoned
 
 // Re-exported graph construction types. Users build labeled undirected
 // graphs with a Builder; vertex and edge labels are small integers whose
@@ -165,6 +180,13 @@ type Options struct {
 	// verification (default 16; negative = 0, never cross over).
 	PlannerCrossover int
 
+	// QueryTimeout bounds every SearchContext / SearchKNNContext /
+	// SearchBatchContext call (0 = none): queries that run longer are cut
+	// off at the next verification-task boundary and return
+	// ErrDeadlineExceeded with the answers verified so far. Plain Search
+	// and SearchKNN are never bounded (they take no context).
+	QueryTimeout time.Duration
+
 	// CompactFraction tunes the live-mutation compaction policy: after an
 	// Insert, when the unindexed delta holds more than CompactFraction
 	// times the indexed graph count (per shard for a Sharded database),
@@ -194,10 +216,34 @@ type Options struct {
 // stable across compactions. Every query runs against a consistent
 // snapshot taken when it starts (per-request snapshot semantics).
 type Database struct {
-	seg *segment.Segment
+	seg          *segment.Segment
+	queryTimeout time.Duration
 
 	mu     sync.Mutex // serializes id assignment with delta appends
 	nextID int32
+}
+
+// queryContext applies Options.QueryTimeout to a caller context. The
+// returned cancel must always be called.
+func queryContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// wrapCtxErr converts a context error from a finished query into the
+// package's typed errors: a deadline becomes ErrDeadlineExceeded (still
+// matching context.DeadlineExceeded via errors.Is); plain cancellation
+// passes through unchanged.
+func wrapCtxErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return err
 }
 
 // withDefaults fills the zero-value construction knobs with the paper's
@@ -276,7 +322,7 @@ func New(graphs []*Graph, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Database{seg: seg, nextID: int32(len(graphs))}, nil
+	return &Database{seg: seg, nextID: int32(len(graphs)), queryTimeout: opts.QueryTimeout}, nil
 }
 
 // Len returns the number of live graphs.
@@ -358,6 +404,12 @@ type DurabilityStats struct {
 	// clean crash).
 	ReplayedRecords      int
 	RecoveryDroppedBytes int64
+	// Poisoned is true after a disk fault put the store (any shard's,
+	// for a sharded database) into read-only mode: mutations fail with
+	// ErrStorePoisoned, queries keep answering from memory.
+	// PoisonReason describes the first fault.
+	Poisoned     bool
+	PoisonReason string
 }
 
 func durabilityStats(st store.Stats, ok bool) DurabilityStats {
@@ -373,6 +425,8 @@ func durabilityStats(st store.Stats, ok bool) DurabilityStats {
 		LastCheckpoint:       st.LastCheckpoint,
 		ReplayedRecords:      st.Recovery.ReplayedRecords,
 		RecoveryDroppedBytes: st.Recovery.DroppedBytes,
+		Poisoned:             st.Poisoned,
+		PoisonReason:         st.PoisonReason,
 	}
 }
 
@@ -452,7 +506,7 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Database{seg: seg, nextID: seg.MaxID() + 1}, nil
+	return &Database{seg: seg, nextID: seg.MaxID() + 1, queryTimeout: opts.QueryTimeout}, nil
 }
 
 // LiveIDs returns the ids of every live graph, ascending.
@@ -464,6 +518,73 @@ func (db *Database) LiveIDs() []int32 { return db.seg.AppendLiveIDs(nil) }
 func (db *Database) Search(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
 	return db.seg.Search(q, sigma)
+}
+
+// SearchContext is Search under a context: cancellation and deadlines
+// (from ctx or Options.QueryTimeout, whichever fires first) propagate
+// into the pipeline and are honored at range-expansion and
+// verification-task boundaries, so a canceled query returns within
+// roughly one candidate verification. On cancellation the error is the
+// context's (a deadline is wrapped in ErrDeadlineExceeded) and the
+// Result still carries every answer fully verified before the cutoff,
+// flagged with Stats.Partial — a correct subset of the complete answer
+// set. A nil error means the Result is complete.
+func (db *Database) SearchContext(ctx context.Context, q *Graph, sigma float64) (Result, error) {
+	mustBeConnected(q)
+	qctx, cancel := queryContext(ctx, db.queryTimeout)
+	defer cancel()
+	r, err := db.seg.SearchCtx(qctx, q, sigma)
+	return r, wrapCtxErr(err)
+}
+
+// SearchKNNContext is SearchKNN under a context; see SearchContext for
+// the cancellation contract. The returned neighbors are genuine (fully
+// verified) but closer ones may be missing when err is non-nil.
+func (db *Database) SearchKNNContext(ctx context.Context, q *Graph, k int, maxSigma float64) ([]Neighbor, error) {
+	mustBeConnected(q)
+	qctx, cancel := queryContext(ctx, db.queryTimeout)
+	defer cancel()
+	ns, err := db.seg.SearchKNNCtx(qctx, q, k, 0, maxSigma)
+	return ns, wrapCtxErr(err)
+}
+
+// SearchBatchContext is SearchBatch under a context: one shared
+// deadline covers the whole batch, and the first failure stops
+// launching further queries. Results align with queries; on a non-nil
+// error, entries for queries that never ran are zero Results.
+func (db *Database) SearchBatchContext(ctx context.Context, queries []*Graph, sigma float64, workers int) ([]Result, error) {
+	for _, q := range queries {
+		mustBeConnected(q)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	qctx, cancel := queryContext(ctx, db.queryTimeout)
+	defer cancel()
+	out := make([]Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, q := range queries {
+		if qctx.Err() != nil {
+			errs[i] = qctx.Err()
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *Graph) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = db.seg.SearchCtx(qctx, q, sigma)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, wrapCtxErr(err)
+		}
+	}
+	return out, nil
 }
 
 func mustBeConnected(q *Graph) {
@@ -587,7 +708,7 @@ func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Database{seg: seg, nextID: int32(len(graphs))}, nil
+	return &Database{seg: seg, nextID: int32(len(graphs)), queryTimeout: opts.QueryTimeout}, nil
 }
 
 // Sharded is an indexed graph database split into contiguous shards, each
@@ -599,7 +720,8 @@ func LoadIndex(graphs []*Graph, r io.Reader, opts Options) (*Database, error) {
 // the shard with the fewest live graphs, Delete tombstones the owning
 // shard, and compaction runs per shard.
 type Sharded struct {
-	db *shard.DB
+	db           *shard.DB
+	queryTimeout time.Duration
 }
 
 // NewSharded splits graphs into nShards contiguous shards and builds every
@@ -618,7 +740,7 @@ func NewSharded(graphs []*Graph, nShards int, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Sharded{db: db}, nil
+	return &Sharded{db: db, queryTimeout: opts.QueryTimeout}, nil
 }
 
 // shardConfig translates the public knobs to the shard package.
@@ -718,7 +840,7 @@ func OpenSharded(dir string, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Sharded{db: db}, nil
+	return &Sharded{db: db, queryTimeout: opts.QueryTimeout}, nil
 }
 
 // LiveIDs returns the ids of every live graph, ascending.
@@ -729,6 +851,42 @@ func (s *Sharded) LiveIDs() []int32 { return s.db.LiveIDs() }
 func (s *Sharded) Search(q *Graph, sigma float64) Result {
 	mustBeConnected(q)
 	return s.db.Search(q, sigma)
+}
+
+// SearchContext is Search under a context; see Database.SearchContext
+// for the cancellation contract. The first shard to fail cancels its
+// siblings, so a deadline or caller cancellation tears the whole
+// fan-out down promptly; the merged Result holds every answer any
+// shard fully verified before the cutoff.
+func (s *Sharded) SearchContext(ctx context.Context, q *Graph, sigma float64) (Result, error) {
+	mustBeConnected(q)
+	qctx, cancel := queryContext(ctx, s.queryTimeout)
+	defer cancel()
+	r, err := s.db.SearchCtx(qctx, q, sigma)
+	return r, wrapCtxErr(err)
+}
+
+// SearchKNNContext is SearchKNN under a context; see
+// Database.SearchKNNContext for the cancellation contract.
+func (s *Sharded) SearchKNNContext(ctx context.Context, q *Graph, k int, maxSigma float64) ([]Neighbor, error) {
+	mustBeConnected(q)
+	qctx, cancel := queryContext(ctx, s.queryTimeout)
+	defer cancel()
+	ns, err := s.db.SearchKNNCtx(qctx, q, k, maxSigma)
+	return ns, wrapCtxErr(err)
+}
+
+// SearchBatchContext is SearchBatch under a context: one shared
+// deadline covers the whole batch and the first failure stops
+// launching further queries. Results align with queries.
+func (s *Sharded) SearchBatchContext(ctx context.Context, queries []*Graph, sigma float64, workers int) ([]Result, error) {
+	for _, q := range queries {
+		mustBeConnected(q)
+	}
+	qctx, cancel := queryContext(ctx, s.queryTimeout)
+	defer cancel()
+	rs, err := s.db.SearchBatchCtx(qctx, queries, sigma, workers)
+	return rs, wrapCtxErr(err)
 }
 
 // SearchTraced is Search plus a span tree: one child span per shard
@@ -795,7 +953,7 @@ func LoadShardedIndex(graphs []*Graph, readers []io.Reader, opts Options) (*Shar
 	if err != nil {
 		return nil, fmt.Errorf("pis: %w", err)
 	}
-	return &Sharded{db: db}, nil
+	return &Sharded{db: db, queryTimeout: opts.QueryTimeout}, nil
 }
 
 // ReadDatabase loads graphs in the line-oriented transaction format

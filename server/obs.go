@@ -35,6 +35,12 @@ var (
 	mTracedQueries = obs.Default().Counter(
 		"pis_traced_queries_total",
 		"Queries that returned an inline span tree (?trace=1).")
+	mShed = obs.Default().Counter(
+		"pis_shed_total",
+		"Query requests shed by admission control (queue full or queue wait exceeded), answered 429.")
+	// Same family as core's verify-site child; re-registration with an
+	// empty help string reuses the existing vec.
+	mHTTPPanics = obs.Default().CounterVec("pis_panics_total", "", "site").With("http")
 )
 
 // defaultQueryLogSize is the /debug/queries ring capacity when

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pis"
@@ -49,6 +50,13 @@ type Backend interface {
 	Search(q *pis.Graph, sigma float64) pis.Result
 	SearchBatch(queries []*pis.Graph, sigma float64, workers int) []pis.Result
 	SearchKNN(q *pis.Graph, k int, maxSigma float64) []pis.Neighbor
+	// The Context variants honor cancellation and deadlines (including
+	// pis.Options.QueryTimeout): the server passes each request's context
+	// so a disconnected client or a deadline stops the query's verify
+	// workers instead of burning CPU on an unwanted answer.
+	SearchContext(ctx context.Context, q *pis.Graph, sigma float64) (pis.Result, error)
+	SearchBatchContext(ctx context.Context, queries []*pis.Graph, sigma float64, workers int) ([]pis.Result, error)
+	SearchKNNContext(ctx context.Context, q *pis.Graph, k int, maxSigma float64) ([]pis.Neighbor, error)
 	Stats() pis.IndexStats
 	Insert(g *pis.Graph) (int32, error)
 	Delete(id int32) (bool, error)
@@ -65,9 +73,23 @@ type Config struct {
 	// caching; negative is treated as 0).
 	CacheSize int
 	// MaxInFlight bounds concurrently executing query requests across
-	// /search, /knn, and /batch (0 = unlimited). Excess requests wait;
-	// a request whose context is canceled while waiting gets 503.
+	// /search, /knn, and /batch (0 = unlimited). Excess requests wait in
+	// a bounded admission queue; a request whose context is canceled
+	// while waiting gets 503.
 	MaxInFlight int
+	// MaxQueue bounds how many query requests may wait for an in-flight
+	// slot (only meaningful with MaxInFlight > 0). When the queue is
+	// full, requests are shed immediately with 429 and a Retry-After
+	// header instead of piling up. 0 picks the default 4×MaxInFlight;
+	// negative disables queueing entirely (no free slot = instant 429).
+	MaxQueue int
+	// QueueWait caps how long an admitted request may wait in the queue
+	// before it is shed with 429 (0 = wait as long as the client does).
+	QueueWait time.Duration
+	// ShutdownTimeout is how long Run drains in-flight requests after
+	// its context is canceled before forcibly closing connections
+	// (0 = the default 10s).
+	ShutdownTimeout time.Duration
 	// BatchWorkers is the default per-batch concurrency when a /batch
 	// request does not specify workers (0 = the backend's default,
 	// GOMAXPROCS).
@@ -96,20 +118,74 @@ type endpointMetrics struct {
 
 // Server is an http.Handler serving the PIS query API.
 type Server struct {
-	backend Backend
-	cfg     Config
-	cache   *lruCache
-	sem     chan struct{}
-	mux     *http.ServeMux
-	start   time.Time
-	qlog    *obs.QueryLog
-	logger  *slog.Logger
+	backend  Backend
+	cfg      Config
+	cache    *lruCache
+	adm      *admission
+	mux      *http.ServeMux
+	start    time.Time
+	qlog     *obs.QueryLog
+	logger   *slog.Logger
+	inflight atomic.Int64
 
 	mu        sync.Mutex
 	metrics   map[string]*endpointMetrics
 	mutations MutationStatsJSON
 	planner   PlannerStatsJSON
 }
+
+// admission gates query execution: at most cap(slots) requests run and
+// at most cap(queue) more wait for a slot. Everything beyond that is
+// shed immediately — a saturated server answers 429 in microseconds
+// instead of accumulating an unbounded backlog that would finish long
+// after every client gave up.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{} // tokens for the right to wait on slots
+	wait  time.Duration // 0 = wait as long as the request context lives
+}
+
+// admissionVerdict says what happened to a request at the gate.
+type admissionVerdict int
+
+const (
+	admitted      admissionVerdict = iota
+	shedQueueFull                  // queue at capacity: 429
+	shedQueueWait                  // waited longer than QueueWait: 429
+	abortedQueued                  // request context canceled while queued: 503
+)
+
+// acquire obtains an execution slot, possibly waiting in the queue.
+// On admitted the caller must call release.
+func (a *admission) acquire(ctx context.Context) admissionVerdict {
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+		defer func() { <-a.queue }()
+	default:
+		return shedQueueFull
+	}
+	var timeout <-chan time.Time
+	if a.wait > 0 {
+		t := time.NewTimer(a.wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	case <-timeout:
+		return shedQueueWait
+	case <-ctx.Done():
+		return abortedQueued
+	}
+}
+
+func (a *admission) release() { <-a.slots }
 
 // New builds a Server from cfg.
 func New(cfg Config) (*Server, error) {
@@ -138,7 +214,18 @@ func New(cfg Config) (*Server, error) {
 		metrics: make(map[string]*endpointMetrics),
 	}
 	if cfg.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, cfg.MaxInFlight)
+		queueCap := cfg.MaxQueue
+		switch {
+		case queueCap == 0:
+			queueCap = 4 * cfg.MaxInFlight
+		case queueCap < 0:
+			queueCap = 0
+		}
+		s.adm = &admission{
+			slots: make(chan struct{}, cfg.MaxInFlight),
+			queue: make(chan struct{}, queueCap),
+			wait:  cfg.QueueWait,
+		}
 	}
 	s.mux.HandleFunc("POST /search", s.instrument("search", true, s.handleSearch))
 	s.mux.HandleFunc("POST /knn", s.instrument("knn", true, s.handleKNN))
@@ -151,19 +238,51 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.instrument("debug_queries", false, s.handleDebugQueries))
+	// Liveness stays HTTP 200 even when the store is poisoned: the
+	// process is healthy and still answers queries; the degraded body
+	// tells orchestrators (and humans) that mutations are rejected and
+	// the node needs disk attention, without tripping restart loops that
+	// would lose the in-memory delta.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if d := s.backend.Durability(); d.Poisoned {
+			fmt.Fprintf(w, "degraded: store poisoned (read-only): %s\n", d.PoisonReason)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.registerGauges()
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request runs under a panic
+// barrier: a panicking handler (or a backend bug surfacing through one)
+// becomes a 500 response and a pis_panics_total increment instead of
+// killing the process and every other in-flight query with it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http
+			panic(v)
+		}
+		mHTTPPanics.Inc()
+		s.logger.Error("panic in request handler", "method", r.Method, "url", r.URL.Path, "panic", fmt.Sprint(v))
+		// Best effort: if the handler already wrote a response this is a
+		// no-op superfluous WriteHeader, which net/http just logs.
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Run serves on addr until ctx is canceled, then shuts down gracefully,
-// draining in-flight requests for up to 10 seconds. It returns nil on a
+// draining in-flight requests for up to Config.ShutdownTimeout (default
+// 10s). If the drain deadline passes with requests still running, they
+// are logged and their connections forcibly closed. It returns nil on a
 // clean shutdown.
 func (s *Server) Run(ctx context.Context, addr string) error {
 	hs := &http.Server{Addr: addr, Handler: s}
@@ -173,9 +292,19 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		timeout := s.cfg.ShutdownTimeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
-		return hs.Shutdown(sctx)
+		err := hs.Shutdown(sctx)
+		if err != nil {
+			s.logger.Warn("graceful shutdown timed out; closing connections",
+				"timeout", timeout, "inflight", s.inflight.Load(), "err", err)
+			hs.Close()
+		}
+		return err
 	}
 }
 
@@ -199,11 +328,21 @@ func (s *Server) instrument(name string, limited bool, h http.HandlerFunc) http.
 	obsErrs := httpErrors.With(name)
 	obsLat := httpSeconds.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		if limited && s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			case <-r.Context().Done():
+		if limited && s.adm != nil {
+			switch s.adm.acquire(r.Context()) {
+			case admitted:
+				defer s.adm.release()
+			case shedQueueFull:
+				mShed.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server overloaded, admission queue full")
+				return
+			case shedQueueWait:
+				mShed.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server overloaded, queue wait exceeded")
+				return
+			case abortedQueued:
 				writeError(w, http.StatusServiceUnavailable, "server overloaded, request canceled while queued")
 				return
 			}
@@ -302,7 +441,9 @@ func (s *Server) recordPlan(st pis.SearchStats) {
 // the cache. With trace set the miss path runs the tracing search and
 // attaches the span tree AFTER caching, so a cached response never
 // carries a stale trace: a later hit gets a cache-hit stub span instead.
-func (s *Server) searchResponse(q *pis.Graph, sigma float64, trace bool) SearchResponse {
+// A canceled or timed-out query returns its error and is never cached —
+// its partial answer set must not satisfy later complete queries.
+func (s *Server) searchResponse(ctx context.Context, q *pis.Graph, sigma float64, trace bool) (SearchResponse, error) {
 	var key string
 	if s.cache.Enabled() {
 		key = searchKey(q, sigma)
@@ -312,7 +453,7 @@ func (s *Server) searchResponse(q *pis.Graph, sigma float64, trace bool) SearchR
 			if trace {
 				resp.Trace = &pis.TraceSpan{Name: "search", Attrs: map[string]any{"cache_hit": true}}
 			}
-			return resp
+			return resp, nil
 		}
 	}
 	gen := s.cache.Gen()
@@ -321,10 +462,29 @@ func (s *Server) searchResponse(q *pis.Graph, sigma float64, trace bool) SearchR
 			r, sp := tb.SearchTraced(q, sigma)
 			resp := s.cacheSearchResult(key, r, gen)
 			resp.Trace = sp
-			return resp
+			return resp, nil
 		}
 	}
-	return s.cacheSearchResult(key, s.backend.Search(q, sigma), gen)
+	r, err := s.backend.SearchContext(ctx, q, sigma)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	return s.cacheSearchResult(key, r, gen), nil
+}
+
+// writeQueryError maps a failed query's error to an HTTP status: a
+// deadline is the server's fault under load (504), a canceled context
+// means the client hung up or the server is shedding (503), anything
+// else is a plain 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pis.ErrDeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "query canceled: "+err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "query failed: "+err.Error())
+	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -341,7 +501,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp := s.searchResponse(q, req.Sigma, traceRequested(r))
+	resp, err := s.searchResponse(r.Context(), q, req.Sigma, traceRequested(r))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
 	resp.ElapsedMS = msSince(start)
 	if resp.Trace != nil && resp.Cached {
 		// The stub span's duration is the (cheap) cache lookup itself.
@@ -382,7 +546,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	gen := s.cache.Gen()
-	ns := s.backend.SearchKNN(q, req.K, req.MaxSigma)
+	ns, err := s.backend.SearchKNNContext(r.Context(), q, req.K, req.MaxSigma)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
 	resp := KNNResponse{Neighbors: make([]NeighborJSON, len(ns))}
 	for i, n := range ns {
 		resp.Neighbors[i] = NeighborJSON{ID: n.ID, Distance: n.Distance}
@@ -443,7 +611,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			workers = s.cfg.BatchWorkers // 0 falls through to the backend default
 		}
 		gen := s.cache.Gen()
-		rs := s.backend.SearchBatch(missQueries, req.Sigma, workers)
+		rs, err := s.backend.SearchBatchContext(r.Context(), missQueries, req.Sigma, workers)
+		if err != nil {
+			// The batch was cut short; none of its (possibly partial)
+			// results may be cached or returned as if complete.
+			writeQueryError(w, err)
+			return
+		}
 		for j, r := range rs {
 			results[missIdx[j]] = s.cacheSearchResult(missKeys[j], r, gen)
 		}
@@ -505,6 +679,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if err != nil && id < 0 {
 		// The mutation was rejected outright (a durable backend could not
 		// log it); nothing changed, so the cache stays valid.
+		if errors.Is(err, pis.ErrStorePoisoned) {
+			writeError(w, http.StatusServiceUnavailable, "database is read-only after a disk fault: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "insert failed: "+err.Error())
 		return
 	}
@@ -527,6 +705,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	ok, err := s.backend.Delete(id)
 	if err != nil {
+		if errors.Is(err, pis.ErrStorePoisoned) {
+			writeError(w, http.StatusServiceUnavailable, "database is read-only after a disk fault: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "delete failed: "+err.Error())
 		return
 	}
@@ -593,6 +775,10 @@ type DurabilityStatsJSON struct {
 	// What recovery found when the database was opened.
 	ReplayedRecords      int   `json:"recovery_replayed_records"`
 	RecoveryDroppedBytes int64 `json:"recovery_dropped_bytes"`
+	// Poisoned marks a store that hit a disk fault and went read-only;
+	// PoisonReason describes the first fault.
+	Poisoned     bool   `json:"poisoned,omitempty"`
+	PoisonReason string `json:"poison_reason,omitempty"`
 }
 
 func encodeDurability(d pis.DurabilityStats) *DurabilityStatsJSON {
@@ -606,6 +792,8 @@ func encodeDurability(d pis.DurabilityStats) *DurabilityStatsJSON {
 		Checkpoints:          d.Checkpoints,
 		ReplayedRecords:      d.ReplayedRecords,
 		RecoveryDroppedBytes: d.RecoveryDroppedBytes,
+		Poisoned:             d.Poisoned,
+		PoisonReason:         d.PoisonReason,
 	}
 	if !d.LastCheckpoint.IsZero() {
 		out.LastCheckpointUnix = float64(d.LastCheckpoint.UnixMilli()) / 1000
