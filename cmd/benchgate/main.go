@@ -14,6 +14,14 @@
 //   - verify_time_share likewise, catching a drift in the filter/verify
 //     balance that the absolute numbers absorb on a fast runner
 //   - avg_allocs_per_query (machine-independent) likewise
+//   - avg_prescreen_rejects must not drop below baseline × (1 - tolerance):
+//     a fingerprint regression that stops refuting candidates pushes them
+//     all back into branch-and-bound
+//   - verify_cache_hit_rate likewise, measured on the warm pass — a broken
+//     cache key or over-eager invalidation shows up here first
+//
+// The two tier metrics skip automatically against a pre-tier baseline
+// (value 0 or absent), so the gate stays usable across the transition.
 //
 // Improvements never fail the gate; benchgate prints a hint to refresh
 // the baseline when the current report is clearly better. To accept an
@@ -65,6 +73,8 @@ func main() {
 		{"avg_verify_ms", baseline.AvgVerifyMS, current.AvgVerifyMS, false},
 		{"verify_time_share", baseline.VerifyTimeShare, current.VerifyTimeShare, false},
 		{"avg_allocs_per_query", baseline.AvgAllocsPerQuery, current.AvgAllocsPerQuery, false},
+		{"avg_prescreen_rejects", baseline.AvgPrescreenRejects, current.AvgPrescreenRejects, true},
+		{"verify_cache_hit_rate", baseline.VerifyCacheHitRate, current.VerifyCacheHitRate, true},
 	}
 
 	failed, improved := false, false

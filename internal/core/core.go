@@ -79,14 +79,43 @@ type Options struct {
 	// expansion stops entirely once plannerPatience consecutive range
 	// queries have each eliminated fewer than this many candidates:
 	// fragments run in descending estimated-power order, so an observed
-	// dry streak means the remaining tail is not paying for itself. 0
-	// means the default 1; negative means 0 (expand exhaustively).
+	// dry streak means the remaining tail is not paying for itself.
+	//
+	// Sentinels: 0 (the zero value) means "use the default", currently 1;
+	// negative means a real budget of 0, i.e. expand exhaustively. Once
+	// the searcher has observed real stage timings, the learned
+	// filter/verify exchange rate replaces the positive default — see
+	// PlannerFeedbackOff. A negative (exhaustive) setting is never
+	// overridden.
 	PlannerBudget float64
 	// PlannerCrossover skips every remaining range query once the
 	// surviving candidate set is at most this many graphs — verifying a
-	// handful of candidates outright beats filtering them further. 0
-	// means the default 16; negative means 0 (never cross over).
+	// handful of candidates outright beats filtering them further.
+	//
+	// Sentinels: 0 (the zero value) means "use the default", currently
+	// 16; negative means a real crossover of 0, i.e. never cross over.
+	// The positive default is only a cold-start guess: unless
+	// PlannerFeedbackOff is set, it is replaced per query by the learned
+	// exchange rate (observed range-query cost over observed
+	// per-candidate verification cost) once both have been measured. A
+	// negative (never-cross-over) setting is never overridden.
 	PlannerCrossover int
+	// PlannerFeedbackOff freezes the planner's filter/verify exchange
+	// rate at the configured PlannerBudget / PlannerCrossover instead of
+	// learning it from observed stage costs. By default the searcher
+	// keeps an exponentially-weighted average of the cost of one σ range
+	// query and of verifying one candidate; their ratio ρ (clamped to
+	// [1, 1024]) is the break-even elimination count — a range query
+	// that cannot eliminate ρ candidates costs more than the
+	// verification it saves — and replaces both knobs' defaults.
+	PlannerFeedbackOff bool
+	// VerifyCacheSize bounds the verification-result cache (entries
+	// across both rotation generations). The cache memoizes exact
+	// branch-and-bound verdicts per (canonical query, graph) for the
+	// lifetime of one index generation; compaction swaps in a fresh
+	// Searcher, which drops it wholesale. 0 means the default 32768;
+	// negative disables the cache.
+	VerifyCacheSize int
 }
 
 func (o Options) normalized() Options {
@@ -106,13 +135,21 @@ func (o Options) normalized() Options {
 	} else if o.PlannerCrossover < 0 {
 		o.PlannerCrossover = 0
 	}
+	if o.VerifyCacheSize == 0 {
+		o.VerifyCacheSize = 32768
+	} else if o.VerifyCacheSize < 0 {
+		o.VerifyCacheSize = 0
+	}
 	return o
 }
 
 // Stats instruments one search. The candidate counters trace the filter
 // funnel over the indexed base: StructCandidates ⊇ RangeCandidates ⊇
-// DistCandidates; Verified additionally counts the unindexed delta
-// graphs a mutation snapshot sends straight to verification.
+// DistCandidates; the verification tiers then split the candidate set
+// (distance-filter survivors plus the unindexed delta graphs a mutation
+// snapshot sends straight to verification), so on the PIS path
+// PrescreenRejects + VerifyCacheHits + Verified equals the number of
+// candidates that reached the verification stage.
 type Stats struct {
 	QueryFragments    int // indexed fragments found in the query
 	UsedFragments     int // after the ε filter and cap
@@ -121,7 +158,9 @@ type Stats struct {
 	StructCandidates  int // graphs passing structure-only intersection (Yt)
 	RangeCandidates   int // graphs surviving the σ range-list intersection
 	DistCandidates    int // after partition lower-bound pruning (Yp, |CQ|)
-	Verified          int // candidates actually verified (incl. delta)
+	PrescreenRejects  int // candidates refuted by the fingerprint prescreen
+	VerifyCacheHits   int // candidates answered from the verify-result cache
+	Verified          int // candidates actually branch-and-bound verified
 	// PlanTime is the fragment scoring + ordering slice of FilterTime,
 	// not a disjoint stage: FilterTime covers the whole filtering stage
 	// (planning included), so stage times sum as FilterTime + VerifyTime.
@@ -185,6 +224,11 @@ type View struct {
 	// order. They are unindexed: searches verify them directly, exactly
 	// like the paper's naive baseline does for the whole database.
 	Delta []*graph.Graph
+	// DeltaFPs optionally carries prescreen fingerprints aligned with
+	// Delta (signature-less — delta graphs are unindexed, so only the
+	// structural tests apply). May be nil or shorter than Delta; missing
+	// fingerprints just exempt those graphs from the prescreen.
+	DeltaFPs []index.GraphFP
 }
 
 // Empty reports whether the view adds nothing to the base database.
@@ -210,12 +254,61 @@ type Searcher struct {
 	metric distance.Metric
 	opts   Options
 	pool   sync.Pool // *scratch
+
+	// vFloor / eFloor are the metric's label-mismatch cost floors
+	// (distance.CostFloors), feeding the prescreen's label-deficit bound.
+	vFloor, eFloor float64
+	// vcache memoizes branch-and-bound verdicts for this searcher's index
+	// generation; nil when Options.VerifyCacheSize disables it.
+	vcache *verifyCache
+	// verifyCandNS / rangeQueryNS are EWMAs (float64 bits) of the
+	// observed cost of verifying one candidate and of running one σ range
+	// query — the planner's learned filter/verify exchange rate. Zero
+	// until first observed; updated losslessly enough by a single CAS
+	// (a lost race drops one sample of a smoothed average).
+	verifyCandNS atomic.Uint64
+	rangeQueryNS atomic.Uint64
 }
 
 // NewSearcher builds a Searcher. The metric must be the one the index was
 // built with; opts zero value gives the paper's defaults.
 func NewSearcher(db []*graph.Graph, idx *index.Index, opts Options) *Searcher {
-	return &Searcher{db: db, idx: idx, metric: idx.Options().Metric, opts: opts.normalized()}
+	s := &Searcher{db: db, idx: idx, metric: idx.Options().Metric, opts: opts.normalized()}
+	s.vFloor, s.eFloor = distance.CostFloors(s.metric)
+	if s.opts.VerifyCacheSize > 0 {
+		s.vcache = newVerifyCache(s.opts.VerifyCacheSize)
+	}
+	return s
+}
+
+// ewmaObserve folds sample x into the EWMA stored in a as float64 bits
+// (α = 1/8; the first sample seeds it). Lossy on CAS races by design.
+func ewmaObserve(a *atomic.Uint64, x float64) {
+	old := a.Load()
+	prev := math.Float64frombits(old)
+	next := x
+	if prev > 0 {
+		next = prev + (x-prev)/8
+	}
+	a.CompareAndSwap(old, math.Float64bits(next))
+}
+
+// exchangeRate returns the learned break-even elimination count ρ =
+// (cost of one range query) / (cost of verifying one candidate), clamped
+// to [1, 1024], or 0 before both costs have been observed.
+func (s *Searcher) exchangeRate() int {
+	r := math.Float64frombits(s.rangeQueryNS.Load())
+	v := math.Float64frombits(s.verifyCandNS.Load())
+	if r <= 0 || v <= 0 {
+		return 0
+	}
+	rho := r / v
+	if rho < 1 {
+		rho = 1
+	} else if rho > 1024 {
+		rho = 1024
+	}
+	return int(rho)
 }
 
 // DB returns the database the searcher answers over.
@@ -246,12 +339,18 @@ type scratch struct {
 	planOrder  []int32   // fragment expansion order (planner score descending)
 	fragProb   []float64 // estimated in-range fraction per fragment
 	fragScore  []float64 // pruning power per unit probe cost per fragment
+	fragUsed   []bool    // fragments whose range query ran (incl. top-up)
 	vertexSets [][]int32
 	weights    []float64
 	part       []int
 	vorder     []int32 // verification order (indices into candidates)
 	vdists     []float64
 	sorter     lbSorter
+	// Prescreen state for the current query: qfpOK gates use (filter
+	// resets it every search; the exact baseline paths never set it).
+	qfp    index.QueryFP
+	qfpSig []uint64
+	qfpOK  bool
 }
 
 func (s *Searcher) getScratch() *scratch {
@@ -304,7 +403,7 @@ func (s *Searcher) SearchNaiveView(q *graph.Graph, sigma float64, view View) Res
 	r.Stats.RangeCandidates = len(r.Candidates)
 	r.Stats.DistCandidates = len(r.Candidates)
 	sc := s.getScratch()
-	err := s.verify(q, sigma, &r, nil, sc, view, nil)
+	err := s.verify(q, sigma, &r, nil, sc, view, nil, false)
 	s.putScratch(sc)
 	rethrow(err)
 	r.Stats.record(mQueriesNaive)
@@ -325,7 +424,7 @@ func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View)
 	var r Result
 	start := time.Now()
 	sc := s.getScratch()
-	frags := s.usableFragments(q, sigma, &r.Stats)
+	frags := s.usableFragments(q, sigma, &r.Stats, sc, false)
 	cands := s.structuralCandidates(frags, sc, view.Tombs)
 	r.Stats.StructCandidates = len(cands)
 	r.Stats.RangeCandidates = len(cands) // no distance pruning in this method
@@ -333,7 +432,7 @@ func (s *Searcher) SearchTopoPruneView(q *graph.Graph, sigma float64, view View)
 	r.Candidates = append(make([]int32, 0, len(cands)+len(view.Delta)), cands...)
 	r.Candidates = view.appendLiveDelta(r.Candidates, len(s.db))
 	r.Stats.FilterTime = time.Since(start)
-	err := s.verify(q, sigma, &r, nil, sc, view, nil)
+	err := s.verify(q, sigma, &r, nil, sc, view, nil, false)
 	s.putScratch(sc)
 	rethrow(err)
 	r.Stats.record(mQueriesTopo)
@@ -380,7 +479,7 @@ func (s *Searcher) SearchViewCtx(ctx context.Context, q *graph.Graph, sigma floa
 		sc.lbs = lbs
 	}
 	r.Stats.FilterTime = time.Since(start)
-	err := s.verify(q, sigma, &r, lbs, sc, view, done)
+	err := s.verify(q, sigma, &r, lbs, sc, view, done, true)
 	s.putScratch(sc)
 	if err == nil && ctx.Err() != nil {
 		r.Stats.Partial = true
@@ -446,7 +545,8 @@ func (s *Searcher) plan(frags []index.QueryFragment, sigma float64, sc *scratch)
 // filtering effort and the per-stage counters do.
 func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch, tombs *index.Tombstones, done <-chan struct{}) (cands []int32, lbs []float64) {
 	n := len(s.db)
-	frags := s.usableFragments(q, sigma, st)
+	sc.qfpOK = false
+	frags := s.usableFragments(q, sigma, st, sc, s.idx.HasFingerprints())
 
 	// Structural intersection: Yt, and the seed candidate set.
 	cur := s.structuralCandidates(frags, sc, tombs)
@@ -465,6 +565,20 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 	budget, crossover := 0.0, 0
 	if probs != nil {
 		budget, crossover = s.opts.PlannerBudget, s.opts.PlannerCrossover
+		if !s.opts.PlannerFeedbackOff {
+			// Learned exchange rate: a range query pays for itself only
+			// when it eliminates at least ρ candidates' verification cost.
+			// Explicit "exhaustive" (budget 0) and "never cross over"
+			// (crossover 0) settings stay as configured.
+			if rho := s.exchangeRate(); rho > 0 {
+				if budget > 0 {
+					budget = float64(rho)
+				}
+				if crossover > 0 {
+					crossover = rho
+				}
+			}
+		}
 	}
 
 	// Lines 6-18: one σ range query per expanded fragment; intersect the
@@ -473,6 +587,27 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 	lists := sc.postingLists(len(frags))
 	infos := sc.infos[:0]
 	nxt := sc.bufB[:0]
+	used := sc.fragUsed[:0]
+	for range frags {
+		used = append(used, false)
+	}
+	sc.fragUsed = used
+	expand := func(fi int32) {
+		qf := frags[fi]
+		pl := &lists[len(infos)]
+		rqStart := time.Now()
+		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf, tombs)
+		ewmaObserve(&s.rangeQueryNS, float64(time.Since(rqStart)))
+		sum := 0.0
+		for _, d := range pl.Dists {
+			sum += d
+		}
+		w := sum/float64(n) + float64(n-pl.Len())/float64(n)*s.opts.Lambda*sigma
+		infos = append(infos, fragInfo{qf: qf, list: pl, w: w})
+		used[fi] = true
+		nxt = intersectSorted(nxt[:0], cur, pl.IDs)
+		cur, nxt = nxt, cur
+	}
 	dryStreak := 0
 	for _, fi := range order {
 		if len(cur) == 0 || len(cur) <= crossover {
@@ -489,18 +624,8 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 				continue
 			}
 		}
-		qf := frags[fi]
-		pl := &lists[len(infos)]
-		s.idx.RangeQueryInto(qf, sigma, pl, &sc.rbuf, tombs)
-		sum := 0.0
-		for _, d := range pl.Dists {
-			sum += d
-		}
-		w := sum/float64(n) + float64(n-pl.Len())/float64(n)*s.opts.Lambda*sigma
-		infos = append(infos, fragInfo{qf: qf, list: pl, w: w})
 		before := len(cur)
-		nxt = intersectSorted(nxt[:0], cur, pl.IDs)
-		cur, nxt = nxt, cur
+		expand(fi)
 		if probs != nil {
 			// Observed marginal gain: with fragments in descending
 			// estimated-power order, a streak of below-budget expansions
@@ -514,8 +639,7 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 			}
 		}
 	}
-	sc.infos = infos
-	st.ExpandedFragments = len(infos)
+
 	st.RangeCandidates = len(cur)
 
 	// Lines 19-20: overlapping-relation graph + MWIS partition.
@@ -540,6 +664,32 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 		part := sc.part[:0]
 		for _, c := range chosen {
 			part = append(part, int(c))
+		}
+
+		// Partition top-up, covering the planner's blind spot: expansion
+		// optimizes candidate eliminations, which favors a few highly
+		// selective fragments that tend to share vertices — and a
+		// one-fragment partition can never prune, since every range
+		// survivor has d_f(g) ≤ σ by construction. When the chosen
+		// partition collapsed to a single fragment, run up to
+		// partitionTopUp extra range queries, in planner order, over
+		// fragments vertex-disjoint from every chosen member: each one
+		// joins the partition directly (a disjoint addition keeps the
+		// set independent), giving Eq. 2 a sum of at least two fragment
+		// distances to prune with.
+		if probs != nil && len(part) < 2 {
+			topped := 0
+			for _, fi := range order {
+				if topped >= partitionTopUp || len(part) >= 2 || len(cur) == 0 || canceled(done) {
+					break
+				}
+				if used[fi] || !disjointFromPart(infos, part, frags[fi].Vertices) {
+					continue
+				}
+				expand(fi)
+				part = append(part, len(infos)-1)
+				topped++
+			}
 		}
 		sc.part = part
 		st.PartitionSize = len(part)
@@ -576,16 +726,26 @@ func (s *Searcher) filter(q *graph.Graph, sigma float64, st *Stats, sc *scratch,
 		cur = out
 		sc.lbs = lbs
 	}
+	sc.infos = infos
+	st.ExpandedFragments = len(infos)
 	st.DistCandidates = len(cur)
 	sc.bufA, sc.bufB = cur, nxt
 	return cur, lbs
 }
 
 // usableFragments enumerates the query's indexed fragments and applies the
-// ε filter (line 5) and the per-query cap.
-func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats) []index.QueryFragment {
+// ε filter (line 5) and the per-query cap. With wantFP set it also builds
+// the query's prescreen fingerprint into the scratch — from the full
+// fragment list, before the ε filter and cap drop any, since every
+// indexed structure of the query constrains a match no matter which range
+// queries end up running.
+func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats, sc *scratch, wantFP bool) []index.QueryFragment {
 	frags := s.idx.QueryFragments(q)
 	st.QueryFragments = len(frags)
+	if wantFP {
+		sc.qfp, sc.qfpSig = s.idx.NewQueryFP(q, frags, s.vFloor, s.eFloor, sc.qfpSig)
+		sc.qfpOK = true
+	}
 	n := float64(len(s.db))
 	kept := frags[:0]
 	for _, qf := range frags {
@@ -663,6 +823,38 @@ func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch
 // the tail is overwhelmingly likely to be dry too.
 const plannerPatience = 2
 
+// partitionTopUp caps the extra range queries spent securing a
+// two-fragment partition when the planner's pick is mutually overlapping.
+const partitionTopUp = 4
+
+// overlaps reports whether two ascending vertex-id lists share an element.
+func overlaps(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// disjointFromPart reports whether vertex set vs avoids every chosen
+// partition member, so its fragment can join the independent set — and
+// the Eq. 2 bound — directly.
+func disjointFromPart(infos []fragInfo, part []int, vs []int32) bool {
+	for _, f := range part {
+		if overlaps(infos[f].qf.Vertices, vs) {
+			return false
+		}
+	}
+	return true
+}
+
 // minParallelVerify is the candidate count below which goroutine fan-out
 // costs more than it saves.
 const minParallelVerify = 8
@@ -681,20 +873,14 @@ func (s *Searcher) verifyWorkers(n int) int {
 	return w
 }
 
-// verifyOrder returns candidate indices sorted ascending by partition
-// lower bound (nil lbs: ascending id), so the likeliest answers are
-// verified first. Scratch-backed.
-func (s *Searcher) verifyOrder(n int, lbs []float64, sc *scratch) []int32 {
-	order := sc.vorder[:0]
-	for i := 0; i < n; i++ {
-		order = append(order, int32(i))
-	}
-	sc.vorder = order
+// orderByLB sorts candidate indices ascending by partition lower bound
+// (nil lbs keeps the given ascending-id order), so the likeliest answers
+// are verified first.
+func orderByLB(order []int32, lbs []float64, sc *scratch) {
 	if lbs != nil {
 		sc.sorter = lbSorter{order: order, lbs: lbs}
 		sort.Stable(&sc.sorter)
 	}
-	return order
 }
 
 // lbSorter sorts candidate indices by lower bound; stability keeps
@@ -717,16 +903,38 @@ func (s *Searcher) candGraph(view View, id int32) *graph.Graph {
 	return view.Delta[int(id)-len(s.db)]
 }
 
-// verify computes the true superimposed distance of every candidate,
-// best-first (ascending partition lower bound) across a worker pool. The
-// answer set is deterministic for any worker count: every candidate is
-// verified against the same fixed budget σ and answers are assembled in
-// ascending id order afterwards. A non-nil done channel aborts the pool
-// early; unverified candidates keep an infinite distance, so they are
-// conservatively excluded and the partial answer set stays a subset of
-// the full one. The returned error is a *PanicError when a worker
-// panicked, nil otherwise.
-func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch, view View, done <-chan struct{}) error {
+// candFP resolves a candidate's prescreen fingerprint: base ids from the
+// index table, delta ids from the view's DeltaFPs overlay. Nil exempts
+// the graph from the prescreen (legacy index streams, bare views).
+func (s *Searcher) candFP(view View, id int32) *index.GraphFP {
+	if int(id) < len(s.db) {
+		return s.idx.FingerprintAt(id)
+	}
+	if i := int(id) - len(s.db); i < len(view.DeltaFPs) {
+		return &view.DeltaFPs[i]
+	}
+	return nil
+}
+
+// verify computes the true superimposed distance of every candidate. On
+// the tiered (PIS) path two cheap tiers run first: the fingerprint
+// prescreen refutes candidates whose structure or label profile proves
+// d > σ, and the verify-result cache answers candidates this searcher
+// generation has already verified for an isomorphic query. Only the
+// remainder reaches exact branch-and-bound, best-first (ascending
+// partition lower bound) across a worker pool; observed per-candidate
+// cost feeds the planner's exchange rate. The baseline paths (naive,
+// topoPrune) pass tiered=false and verify every candidate exactly, which
+// keeps them valid differential references for the tiers.
+//
+// The answer set is deterministic for any worker count: every candidate
+// is verified against the same fixed budget σ and answers are assembled
+// in ascending id order afterwards. A non-nil done channel aborts the
+// pool early; unverified candidates keep an infinite distance, so they
+// are conservatively excluded and the partial answer set stays a subset
+// of the full one (nothing is cached for an aborted query). The returned
+// error is a *PanicError when a worker panicked, nil otherwise.
+func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float64, sc *scratch, view View, done <-chan struct{}, tiered bool) error {
 	if s.opts.SkipVerification {
 		return nil
 	}
@@ -734,7 +942,6 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 	r.Answers = []int32{}
 	cands := r.Candidates
 	nc := len(cands)
-	r.Stats.Verified = nc
 	if nc == 0 {
 		r.Stats.VerifyTime = time.Since(start)
 		return nil
@@ -747,11 +954,58 @@ func (s *Searcher) verify(q *graph.Graph, sigma float64, r *Result, lbs []float6
 	}
 	sc.vdists = dists
 
-	order := s.verifyOrder(nc, lbs, sc)
-	err := s.forEachCandidate(q, s.verifyWorkers(nc), nc, done, func(v *iso.Verifier, i int) {
-		j := order[i]
-		dists[j] = v.Distance(s.candGraph(view, cands[j]), sigma)
-	})
+	// Tiers 1-2: prescreen, then cache. The canonical query key is only
+	// computed when a candidate actually reaches the cache tier.
+	usePre := tiered && sc.qfpOK
+	cache := s.vcache
+	if !tiered {
+		cache = nil
+	}
+	var qkey string
+	order := sc.vorder[:0]
+	for j := 0; j < nc; j++ {
+		if usePre {
+			if gfp := s.candFP(view, cands[j]); gfp != nil && !sc.qfp.Admissible(gfp, sigma) {
+				// dists[j] stays Infinite: a proven non-answer.
+				r.Stats.PrescreenRejects++
+				continue
+			}
+		}
+		if cache != nil {
+			if qkey == "" {
+				qkey = canonicalQueryKey(q)
+			}
+			if d, hit := cache.lookup(vcKey{q: qkey, id: cands[j]}, sigma); hit {
+				dists[j] = d
+				r.Stats.VerifyCacheHits++
+				continue
+			}
+		}
+		order = append(order, int32(j))
+	}
+	sc.vorder = order
+	nv := len(order)
+	r.Stats.Verified = nv
+
+	// Tier 3: exact branch-and-bound over what survived.
+	var err error
+	if nv > 0 {
+		orderByLB(order, lbs, sc)
+		var taskNS atomic.Int64
+		err = s.forEachCandidate(q, s.verifyWorkers(nv), nv, done, func(v *iso.Verifier, i int) {
+			j := order[i]
+			t0 := time.Now()
+			d := v.Distance(s.candGraph(view, cands[j]), sigma)
+			taskNS.Add(int64(time.Since(t0)))
+			dists[j] = d
+			if cache != nil && !canceled(done) {
+				cache.put(vcKey{q: qkey, id: cands[j]}, d, sigma)
+			}
+		})
+		if err == nil && !canceled(done) {
+			ewmaObserve(&s.verifyCandNS, float64(taskNS.Load())/float64(nv))
+		}
+	}
 	if err != nil {
 		r.Stats.VerifyTime = time.Since(start)
 		return err
@@ -791,6 +1045,27 @@ func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View
 				lbs = append(lbs, 0)
 			}
 			sc.lbs = lbs
+		}
+	}
+	// Fingerprint prescreen at the outer radius (admissible for the whole
+	// run: the shared bound only ever shrinks below sigma). The KNN pool
+	// skips the verify-result cache — its verdicts are computed against a
+	// moving budget, so they are not reusable exact distances.
+	if sc.qfpOK {
+		out := 0
+		for i, id := range cands {
+			if gfp := s.candFP(view, id); gfp != nil && !sc.qfp.Admissible(gfp, sigma) {
+				continue
+			}
+			cands[out] = id
+			if lbs != nil {
+				lbs[out] = lbs[i]
+			}
+			out++
+		}
+		cands = cands[:out]
+		if lbs != nil {
+			lbs = lbs[:out]
 		}
 	}
 	nc := len(cands)
@@ -840,7 +1115,12 @@ func (s *Searcher) searchKNNOnce(q *graph.Graph, k int, sigma float64, view View
 		}
 	}
 
-	order := s.verifyOrder(nc, lbs, sc)
+	order := sc.vorder[:0]
+	for i := 0; i < nc; i++ {
+		order = append(order, int32(i))
+	}
+	sc.vorder = order
+	orderByLB(order, lbs, sc)
 	err := s.forEachCandidate(q, s.verifyWorkers(nc), nc, done, func(v *iso.Verifier, i int) {
 		j := order[i]
 		budget := math.Float64frombits(boundBits.Load())

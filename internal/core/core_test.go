@@ -173,19 +173,6 @@ func TestPartitionLowerBoundProperty(t *testing.T) {
 	}
 }
 
-func overlaps(a, b []int32) bool {
-	in := map[int32]bool{}
-	for _, v := range a {
-		in[v] = true
-	}
-	for _, v := range b {
-		if in[v] {
-			return true
-		}
-	}
-	return false
-}
-
 func TestPISPrunesMoreWithSmallerSigma(t *testing.T) {
 	fx := newFixture(t, 9, 60)
 	s := NewSearcher(fx.db, fx.idx, Options{SkipVerification: true})
@@ -244,8 +231,9 @@ func TestStatsPopulated(t *testing.T) {
 	if st.StructCandidates < st.DistCandidates {
 		t.Errorf("structural candidates < distance candidates: %+v", st)
 	}
-	if st.Verified != len(r.Candidates) {
-		t.Errorf("verified %d != candidates %d", st.Verified, len(r.Candidates))
+	if st.Verified+st.PrescreenRejects+st.VerifyCacheHits != len(r.Candidates) {
+		t.Errorf("verified %d + prescreen %d + cached %d != candidates %d",
+			st.Verified, st.PrescreenRejects, st.VerifyCacheHits, len(r.Candidates))
 	}
 }
 

@@ -16,6 +16,8 @@ func (s *Stats) Add(o Stats) {
 	s.StructCandidates += o.StructCandidates
 	s.RangeCandidates += o.RangeCandidates
 	s.DistCandidates += o.DistCandidates
+	s.PrescreenRejects += o.PrescreenRejects
+	s.VerifyCacheHits += o.VerifyCacheHits
 	s.Verified += o.Verified
 	s.PlanTime += o.PlanTime
 	s.FilterTime += o.FilterTime

@@ -36,6 +36,13 @@ var (
 	mQueriesCanceled = obs.Default().Counter(
 		"pis_queries_canceled_total",
 		"Searches cut short by context cancellation or deadline (partial results).")
+	mPrescreenRejects = obs.Default().Counter(
+		"pis_prescreen_rejects_total",
+		"Verification candidates refuted by the fingerprint prescreen (structure, degree, or label-cost bound) without branch-and-bound.")
+	verifyCacheTotal = obs.Default().CounterVec(
+		"pis_verify_cache_total",
+		"Verify-result cache outcomes: hit = candidate answered from a memoized verdict, miss = candidate went to branch-and-bound.",
+		"outcome")
 )
 
 // Pre-resolved children so the per-query path never takes a vec lock.
@@ -54,6 +61,8 @@ var (
 	mFragsUsed     = fragmentsTotal.With("used")
 	mFragsExpanded = fragmentsTotal.With("expanded")
 	mVerifyPanics  = panicsTotal.With("verify")
+	mVCacheHits    = verifyCacheTotal.With("hit")
+	mVCacheMisses  = verifyCacheTotal.With("miss")
 )
 
 // record publishes one finished query's Stats into the registry.
@@ -69,6 +78,13 @@ func (st *Stats) record(queries *obs.LabeledCounter) {
 	mFragsQuery.Add(int64(st.QueryFragments))
 	mFragsUsed.Add(int64(st.UsedFragments))
 	mFragsExpanded.Add(int64(st.ExpandedFragments))
+	mPrescreenRejects.Add(int64(st.PrescreenRejects))
+	mVCacheHits.Add(int64(st.VerifyCacheHits))
+	if queries == mQueriesPIS {
+		// Only the tiered path consults the cache, so only its verified
+		// count reads as misses; the exact baselines never look it up.
+		mVCacheMisses.Add(int64(st.Verified))
+	}
 }
 
 // Trace promotes the Stats into a span tree for one search that took
@@ -89,6 +105,8 @@ func (st *Stats) Trace(total time.Duration) *obs.Span {
 	filter.SetAttr("range_candidates", st.RangeCandidates)
 	filter.SetAttr("dist_candidates", st.DistCandidates)
 	verify := root.Child("verify", obs.MS(st.VerifyTime))
+	verify.SetAttr("prescreen_rejects", st.PrescreenRejects)
+	verify.SetAttr("verify_cache_hits", st.VerifyCacheHits)
 	verify.SetAttr("verified", st.Verified)
 	return root
 }

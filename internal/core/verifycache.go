@@ -1,0 +1,143 @@
+// Verification-result cache: tier two of the verify pipeline. Verdicts
+// are keyed by (canonical query code, segment-local graph id) and live on
+// one Searcher, which is exactly one index generation — Compact builds a
+// fresh Searcher (segment.compactLocked), Insert appends fresh never-
+// reused local ids, and Delete only hides ids from the filter, so a
+// cached verdict can never describe different graph contents than the
+// live lookup. Isomorphic queries share a key (canon.MinCode plus the
+// label/weight sequence, the same construction the server's result cache
+// proves out), so repeated and re-ordered queries skip branch-and-bound
+// entirely for every graph they have already been verified against.
+//
+// A verdict is (d, budget): Verifier.Distance(g, budget) returns the
+// exact distance when d <= budget and Infinite otherwise, so
+//
+//   - d <= budget: d is exact and answers ANY sigma by direct comparison;
+//   - d infinite:  only "distance > budget" is known, which answers
+//     sigma <= budget and misses for larger radii (re-verified and the
+//     entry upgraded to the larger budget).
+//
+// Capacity is bounded by two-generation rotation: when the current map
+// fills, it becomes the previous generation and lookups fall through to
+// it (promoting hits) until it rotates away. O(1), no LRU list, and the
+// total entry count stays under the configured cap.
+
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"pis/internal/canon"
+	"pis/internal/distance"
+	"pis/internal/graph"
+)
+
+// vcKey identifies one (query, graph) verification.
+type vcKey struct {
+	q  string // canonical query key
+	id int32  // segment-local graph id
+}
+
+// vcVerdict is one cached verification outcome at a known budget.
+type vcVerdict struct {
+	d      float64
+	budget float64
+}
+
+// verifyCache is a bounded map from (query, graph) to verdicts. Safe for
+// concurrent use; the zero value is unusable — use newVerifyCache.
+type verifyCache struct {
+	mu   sync.Mutex
+	half int // rotation threshold: cur holds at most half, total <= 2*half
+	cur  map[vcKey]vcVerdict
+	prev map[vcKey]vcVerdict
+}
+
+func newVerifyCache(capacity int) *verifyCache {
+	half := capacity / 2
+	if half < 1 {
+		half = 1
+	}
+	return &verifyCache{half: half, cur: make(map[vcKey]vcVerdict)}
+}
+
+// lookup resolves one candidate against the cache: hit reports whether
+// the cached verdict answers a search at radius sigma, and d is the
+// distance to use (exact, or Infinite for a proven non-answer).
+func (c *verifyCache) lookup(k vcKey, sigma float64) (d float64, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(k, sigma)
+}
+
+func (c *verifyCache) lookupLocked(k vcKey, sigma float64) (d float64, hit bool) {
+	v, ok := c.cur[k]
+	if !ok {
+		if v, ok = c.prev[k]; ok {
+			c.putLocked(k, v) // promote so rotation keeps hot entries
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	if !distance.IsInfinite(v.d) {
+		// Exact distance known (it was within its budget): answers any
+		// radius. Clamp to Infinite semantics at the call site instead of
+		// here — the caller compares d <= sigma itself.
+		return v.d, true
+	}
+	if sigma <= v.budget {
+		return distance.Infinite, true
+	}
+	return 0, false // proven > budget, but the new radius asks farther
+}
+
+func (c *verifyCache) putLocked(k vcKey, v vcVerdict) {
+	if len(c.cur) >= c.half {
+		c.prev = c.cur
+		c.cur = make(map[vcKey]vcVerdict, c.half)
+	}
+	c.cur[k] = v
+}
+
+// put records one verification outcome, never downgrading: an existing
+// exact verdict stays, and a larger-budget Infinite replaces a smaller
+// one but not the other way around.
+func (c *verifyCache) put(k vcKey, d, budget float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.cur[k]; ok {
+		if !distance.IsInfinite(old.d) || (distance.IsInfinite(d) && budget <= old.budget) {
+			return
+		}
+	}
+	c.putLocked(k, vcVerdict{d: d, budget: budget})
+}
+
+// canonicalQueryKey returns a key equal for isomorphic queries and
+// distinct otherwise: the minimum DFS code plus the lexicographically
+// smallest vertex-label + weight sequence over all canonical embeddings.
+// The same construction as the server result cache's canonicalGraphKey;
+// duplicated here because core cannot import the server package.
+func canonicalQueryKey(q *graph.Graph) string {
+	code, embs := canon.MinCode(q)
+	key := code.Key()
+	var best []byte
+	buf := make([]byte, 0, 10*(q.N()+q.M()))
+	for _, emb := range embs {
+		buf = buf[:0]
+		for _, v := range emb.Vertices {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(q.VLabelAt(int(v))))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.VWeightAt(int(v))))
+		}
+		for _, e := range emb.Edges {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.EdgeAt(int(e)).Weight))
+		}
+		if best == nil || string(buf) < string(best) {
+			best = append(best[:0], buf...)
+		}
+	}
+	return key + "|" + string(best)
+}

@@ -40,6 +40,31 @@ func IgnoresVertices(m Metric) bool {
 	return ok && vb.VertexBlind()
 }
 
+// CostFloor is the optional interface a Metric implements to declare
+// lower bounds on the cost of superimposing two elements whose labels
+// differ. The fingerprint prescreen multiplies label-multiset deficits by
+// these floors to lower-bound the whole-graph distance without searching
+// for a superposition; a floor of 0 (or not implementing the interface)
+// simply disables that part of the prescreen — always safe, never wrong.
+type CostFloor interface {
+	// MinVertexCost lower-bounds VertexCost(a, *, b, *) over all a != b.
+	MinVertexCost() float64
+	// MinEdgeCost lower-bounds EdgeCost(a, *, b, *) over all a != b.
+	MinEdgeCost() float64
+}
+
+// CostFloors returns the metric's declared label-mismatch cost floors, or
+// (0, 0) when it declares none. Weight-based metrics like Linear have no
+// positive floor — two different labels can cost arbitrarily little — so
+// they correctly report zeros by not implementing CostFloor.
+func CostFloors(m Metric) (vertex, edge float64) {
+	cf, ok := m.(CostFloor)
+	if !ok {
+		return 0, 0
+	}
+	return cf.MinVertexCost(), cf.MinEdgeCost()
+}
+
 // EdgeMutation is the measure used in the paper's experiments: each
 // mismatched edge label costs 1 and vertex labels are ignored.
 type EdgeMutation struct{}
@@ -54,6 +79,12 @@ func (EdgeMutation) VertexBlind() bool { return true }
 func (EdgeMutation) EdgeCost(a graph.ELabel, _ float64, b graph.ELabel, _ float64) float64 {
 	return boolToFloat(a != b)
 }
+
+// MinVertexCost implements CostFloor: vertex labels never cost anything.
+func (EdgeMutation) MinVertexCost() float64 { return 0 }
+
+// MinEdgeCost implements CostFloor: a mismatched edge label costs exactly 1.
+func (EdgeMutation) MinEdgeCost() float64 { return 1 }
 
 func boolToFloat(b bool) float64 {
 	if b {
@@ -74,6 +105,12 @@ func (FullMutation) VertexCost(a graph.VLabel, _ float64, b graph.VLabel, _ floa
 func (FullMutation) EdgeCost(a graph.ELabel, _ float64, b graph.ELabel, _ float64) float64 {
 	return boolToFloat(a != b)
 }
+
+// MinVertexCost implements CostFloor.
+func (FullMutation) MinVertexCost() float64 { return 1 }
+
+// MinEdgeCost implements CostFloor.
+func (FullMutation) MinEdgeCost() float64 { return 1 }
 
 // Matrix is a mutation score matrix (Definition of MD in the paper): the
 // cost of relabeling is looked up per ordered label pair. Missing entries
@@ -125,6 +162,31 @@ func (m *Matrix) EdgeCost(a graph.ELabel, _ float64, b graph.ELabel, _ float64) 
 		return c
 	}
 	return m.DefaultCost
+}
+
+// MinVertexCost implements CostFloor: the smallest explicit vertex score,
+// or DefaultCost when the table would fall through to it. Entries keyed by
+// identical labels are ignored — same-label superpositions are free by
+// definition and never a mismatch.
+func (m *Matrix) MinVertexCost() float64 {
+	min := m.DefaultCost
+	for k, v := range m.VertexScores {
+		if k[0] != k[1] && v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MinEdgeCost implements CostFloor; see MinVertexCost.
+func (m *Matrix) MinEdgeCost() float64 {
+	min := m.DefaultCost
+	for k, v := range m.EdgeScores {
+		if k[0] != k[1] && v < min {
+			min = v
+		}
+	}
+	return min
 }
 
 // Validate reports whether the matrix satisfies the properties PIS relies

@@ -48,6 +48,14 @@ type BenchReport struct {
 	AvgDistCandidates    float64 `json:"avg_dist_candidates"`
 	AvgVerified          float64 `json:"avg_verified"`
 	AvgAnswers           float64 `json:"avg_answers"`
+	// avg_prescreen_rejects counts candidates the fingerprint prescreen
+	// refuted per query on the cold pass — work the branch-and-bound
+	// verifier no longer sees. verify_cache_hit_rate is measured on a
+	// second, warm pass over the same query set: of the candidates that
+	// survived the prescreen, the fraction answered from the verify
+	// cache instead of re-verified.
+	AvgPrescreenRejects float64 `json:"avg_prescreen_rejects"`
+	VerifyCacheHitRate  float64 `json:"verify_cache_hit_rate"`
 	// avg_plan_ms is the planning slice of avg_filter_ms, not an extra
 	// stage: avg_filter_ms + avg_verify_ms is the whole query.
 	AvgPlanMS   float64 `json:"avg_plan_ms"`
@@ -173,6 +181,7 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 	rep.AvgDistCandidates = float64(agg.DistCandidates) / n
 	rep.AvgVerified = float64(agg.Verified) / n
 	rep.AvgAnswers = float64(answers) / n
+	rep.AvgPrescreenRejects = float64(agg.PrescreenRejects) / n
 	rep.AvgPlanMS = ms(agg.PlanTime) / n
 	rep.AvgFilterMS = ms(agg.FilterTime) / n
 	rep.AvgVerifyMS = ms(agg.VerifyTime) / n
@@ -187,6 +196,18 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 	rep.AvgAllocKBPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / 1024 / n
 	rep.TotalMS = ms(wall)
 	rep.QueriesPerSec = n / wall.Seconds()
+
+	// Warm pass: the same queries again, against the now-populated verify
+	// cache. Of the candidates that survive the prescreen, the fraction
+	// answered from the cache is the steady-state hit rate a production
+	// workload with repeated queries would see.
+	var warm core.Stats
+	for _, q := range qs {
+		warm.Add(s.Search(q, sigma).Stats)
+	}
+	if reached := warm.VerifyCacheHits + warm.Verified; reached > 0 {
+		rep.VerifyCacheHitRate = float64(warm.VerifyCacheHits) / float64(reached)
+	}
 
 	// Save/load round-trip: what a restart pays through the durable store
 	// instead of re-mining + rebuilding.

@@ -65,6 +65,11 @@ type Options struct {
 	// MaxFragmentEdges bounds the fragments enumerated from database
 	// graphs; it defaults to the largest feature size.
 	MaxFragmentEdges int
+	// SignatureWords sizes the per-graph superimposed class signature in
+	// 64-bit words (the prescreen's false-drop knob, see fingerprint.go).
+	// 0 means the default 2 (128 bits); raise it for feature sets large
+	// enough to saturate the signature.
+	SignatureWords int
 }
 
 // Class is one structural equivalence class [f].
@@ -123,6 +128,10 @@ type Index struct {
 	// fragments — the overwhelming majority of enumerated fragments — are
 	// canonicalized once, at build time and at query time alike.
 	memo *canon.Memo
+	// fps holds one prescreen fingerprint per graph (see fingerprint.go);
+	// nil on an index loaded from a stream written before fingerprints
+	// existed, until EnsureFingerprints recomputes them.
+	fps []GraphFP
 }
 
 // Classes returns all classes ordered by ID.
@@ -229,6 +238,7 @@ func Build(db []*graph.Graph, features []mining.Feature, opts Options) (*Index, 
 	}
 	x.finalize()
 	x.computeStats()
+	x.computeFingerprints(db)
 	mBuildSeconds.ObserveSince(buildStart)
 	mBuildGraphs.Add(int64(len(db)))
 	return x, nil

@@ -106,6 +106,7 @@ func BuildParallel(db []*graph.Graph, features []mining.Feature, opts Options, w
 	}
 	x.finalize()
 	x.computeStats()
+	x.computeFingerprints(db)
 	return x, nil
 }
 

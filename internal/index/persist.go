@@ -48,6 +48,14 @@ const persistMagicV2 = "PISIDX2\n"
 // byte in the header) still load with stats recomputed on the fly.
 const statsMagic = 0x54534950
 
+// fpMagic tags the per-graph fingerprint section ("PISF" little-endian)
+// appended after the stats section. Announced by a second header flag
+// byte exactly like the stats section: streams written before
+// fingerprints existed have no flag byte left in the header and load with
+// fps recomputed by EnsureFingerprints when the index is attached to its
+// graphs.
+const fpMagic = 0x46534950
+
 // dto types: exported fields only, no behavior. Both the v1 gob decoder
 // and the v2 section decoder produce these; one reconstruction path
 // builds the live Index from them.
@@ -82,9 +90,9 @@ type persistIndex struct {
 // stored sequence layout.
 func (x *Index) Save(w io.Writer) error { return x.save(w, true) }
 
-// save writes the v2 stream; withStats=false omits the planner-stats
-// section (the shape of streams written before statistics existed, kept
-// reachable for the compatibility tests).
+// save writes the v2 stream; withStats=false omits the trailing
+// planner-stats and fingerprint sections (the shape of streams written
+// before they existed, kept reachable for the compatibility tests).
 func (x *Index) save(w io.Writer, withStats bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagicV2); err != nil {
@@ -108,6 +116,11 @@ func (x *Index) save(w io.Writer, withStats bool) error {
 		hasStats = 1
 	}
 	sw.U8(hasStats)
+	hasFPs := byte(0)
+	if withStats && x.fps != nil {
+		hasFPs = 1
+	}
+	sw.U8(hasFPs)
 	if err := sw.Flush(); err != nil {
 		return err
 	}
@@ -166,6 +179,32 @@ func (x *Index) save(w io.Writer, withStats bool) error {
 			sw.Uvarint(uint64(c.stats.Pairs))
 			for _, h := range c.stats.Hist {
 				sw.Uvarint(uint64(h))
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+	}
+	if hasFPs != 0 {
+		sw.Begin()
+		sw.U32(fpMagic)
+		sw.Uvarint(uint64(x.opts.sigWords()))
+		sw.Uvarint(uint64(len(x.fps)))
+		for i := range x.fps {
+			fp := &x.fps[i]
+			sw.Uvarint(uint64(fp.NV))
+			sw.Uvarint(uint64(fp.NE))
+			for _, c := range fp.DegTail {
+				sw.Uvarint(uint64(c))
+			}
+			for _, c := range fp.ELab {
+				sw.Uvarint(uint64(c))
+			}
+			for _, c := range fp.VLab {
+				sw.Uvarint(uint64(c))
+			}
+			for _, w := range fp.Sig {
+				sw.U64(w)
 			}
 		}
 		if err := sw.Flush(); err != nil {
@@ -234,8 +273,11 @@ func loadV2(r io.Reader, metric distance.Metric) (*Index, error) {
 	nClasses := int(sr.Uvarint())
 	// Streams written before planner statistics stop here; newer ones
 	// append a flag announcing whether a stats section follows, so a
-	// missing announced section is corruption, not an old stream.
+	// missing announced section is corruption, not an old stream. The
+	// fingerprint flag extends the header the same way one generation
+	// later.
 	hasStats := sr.Remaining() > 0 && sr.U8() != 0
+	hasFPs := sr.Remaining() > 0 && sr.U8() != 0
 	if err := sr.Err(); err != nil {
 		return nil, fmt.Errorf("index: header: %w", err)
 	}
@@ -300,7 +342,63 @@ func loadV2(r io.Reader, metric distance.Metric) (*Index, error) {
 	if err := loadStats(sr, x); err != nil {
 		return nil, fmt.Errorf("index: stats section: %w (only the trailing statistics are damaged; restore the stream from a snapshot or rebuild the index)", err)
 	}
+	if !hasFPs {
+		// Fingerprint-less stream: EnsureFingerprints recomputes when the
+		// index is attached to its graph set (segment.FromIndex).
+		return x, nil
+	}
+	if err := loadFingerprints(sr, x); err != nil {
+		return nil, fmt.Errorf("index: fingerprint section: %w (only the trailing fingerprints are damaged; restore the stream from a snapshot or rebuild the index)", err)
+	}
 	return x, nil
+}
+
+// loadFingerprints decodes the checksummed fingerprint section into the
+// loaded index.
+func loadFingerprints(sr *binio.SectionReader, x *Index) error {
+	if err := sr.Next(); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("missing (stream truncated at the section boundary)")
+		}
+		return err
+	}
+	if m := sr.U32(); m != fpMagic {
+		return fmt.Errorf("bad section magic %08x", m)
+	}
+	words := int(sr.Uvarint())
+	if words <= 0 || words > maxSigWords {
+		return fmt.Errorf("signature width %d words out of range", words)
+	}
+	n := int(sr.Uvarint())
+	if n != x.dbSize {
+		return fmt.Errorf("covers %d graphs, index has %d", n, x.dbSize)
+	}
+	x.opts.SignatureWords = words
+	slab := make([]uint64, words*n)
+	fps := make([]GraphFP, n)
+	for i := range fps {
+		fp := &fps[i]
+		fp.NV = int32(sr.Uvarint())
+		fp.NE = int32(sr.Uvarint())
+		for k := range fp.DegTail {
+			fp.DegTail[k] = uint16(sr.Uvarint())
+		}
+		for k := range fp.ELab {
+			fp.ELab[k] = uint16(sr.Uvarint())
+		}
+		for k := range fp.VLab {
+			fp.VLab[k] = uint16(sr.Uvarint())
+		}
+		fp.Sig = slab[i*words : (i+1)*words : (i+1)*words]
+		for w := range fp.Sig {
+			fp.Sig[w] = sr.U64()
+		}
+	}
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	x.fps = fps
+	return nil
 }
 
 // loadStats decodes the checksummed planner-statistics section into the

@@ -146,9 +146,9 @@ func TestPersistCorruptStatsSection(t *testing.T) {
 	if err := x.save(&without, false); err != nil {
 		t.Fatal(err)
 	}
-	// The two streams differ only in the header flag byte and the
-	// trailing stats section, so every byte past the stats-less length
-	// belongs to the stats section.
+	// The two streams differ only in the header flag bytes and the
+	// trailing stats + fingerprint sections, so every byte past the
+	// section-less length belongs to one of the trailing sections.
 	statsStart := without.Len()
 	clean := with.Bytes()
 	if statsStart >= len(clean) {
@@ -173,10 +173,10 @@ func TestPersistCorruptStatsSection(t *testing.T) {
 			dirty[pos] ^= 0x40
 			_, err := Load(bytes.NewReader(dirty), metric)
 			if err == nil {
-				t.Fatalf("bit flip at stats byte %d loaded cleanly", pos)
+				t.Fatalf("bit flip at trailing-section byte %d loaded cleanly", pos)
 			}
-			if !strings.Contains(err.Error(), "stats section") {
-				t.Fatalf("bit flip at stats byte %d: error does not name the stats section: %v", pos, err)
+			if !strings.Contains(err.Error(), "stats section") && !strings.Contains(err.Error(), "fingerprint section") {
+				t.Fatalf("bit flip at trailing-section byte %d: error does not name a trailing section: %v", pos, err)
 			}
 		}
 	})

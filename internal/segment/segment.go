@@ -98,6 +98,10 @@ type Segment struct {
 	// assigned monotonically). Both are append-only between compactions.
 	delta    []*graph.Graph
 	deltaIDs []int32
+	// deltaFPs carries the prescreen fingerprint of each delta graph
+	// (signature-less; delta graphs are unindexed), appended alongside
+	// delta so snapshots hand the searcher an aligned overlay.
+	deltaFPs []index.GraphFP
 	// tombs marks deleted local ids (base positions, then len(base)+delta
 	// positions); copy-on-write so snapshots stay consistent.
 	tombs *index.Tombstones
@@ -228,6 +232,9 @@ func OpenDurable(dir string, cfg Config) (*Segment, error) {
 	s := fromIndex(snap.Base, snap.BaseIDs, snap.Index, cfg)
 	s.delta = snap.Delta
 	s.deltaIDs = snap.DeltaIDs
+	for _, g := range snap.Delta {
+		s.deltaFPs = append(s.deltaFPs, index.DeltaFP(g))
+	}
 	if snap.NextID-1 > s.maxID {
 		s.maxID = snap.NextID - 1
 	}
@@ -246,6 +253,7 @@ func OpenDurable(dir string, cfg Config) (*Segment, error) {
 		case store.OpInsert:
 			s.delta = append(s.delta, rec.Graph)
 			s.deltaIDs = append(s.deltaIDs, rec.ID)
+			s.deltaFPs = append(s.deltaFPs, index.DeltaFP(rec.Graph))
 			if rec.ID > s.maxID {
 				s.maxID = rec.ID
 			}
@@ -284,6 +292,9 @@ func build(graphs []*graph.Graph, cfg Config) ([]*graph.Graph, *index.Index, err
 }
 
 func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) *Segment {
+	// Streams persisted before fingerprints existed load without them;
+	// recompute here so the prescreen tier is never silently absent.
+	idx.EnsureFingerprints(base)
 	maxID := int32(-1)
 	if len(ids) > 0 {
 		maxID = ids[len(ids)-1] // ids are ascending
@@ -317,7 +328,7 @@ func (s *Segment) snapshot() snapshot {
 		knn:      s.knn,
 		ids:      s.ids,
 		deltaIDs: s.deltaIDs,
-		view:     core.View{Tombs: s.tombs, Delta: s.delta},
+		view:     core.View{Tombs: s.tombs, Delta: s.delta, DeltaFPs: s.deltaFPs},
 	}
 }
 
@@ -440,6 +451,7 @@ func (s *Segment) CommitInsert(g *graph.Graph, id int32) (needsCompact bool, err
 	}
 	s.delta = append(s.delta, g)
 	s.deltaIDs = append(s.deltaIDs, id)
+	s.deltaFPs = append(s.deltaFPs, index.DeltaFP(g))
 	if id > s.maxID {
 		s.maxID = id
 	}
@@ -605,7 +617,7 @@ func (s *Segment) compactLocked() error {
 		// Nothing lives: keep the old index (a rebuild over zero graphs is
 		// impossible) and tombstone the whole base, dropping the delta.
 		s.tombs = index.AllSet(len(s.base))
-		s.delta, s.deltaIDs = nil, nil
+		s.delta, s.deltaIDs, s.deltaFPs = nil, nil, nil
 		return nil
 	}
 	base, idx, err := build(survivors, s.cfg)
@@ -615,7 +627,7 @@ func (s *Segment) compactLocked() error {
 	s.base, s.ids, s.idx = base, ids, idx
 	s.srch = core.NewSearcher(base, idx, s.cfg.Core)
 	s.knn = core.NewSearcher(base, idx, s.cfg.KNNCore)
-	s.delta, s.deltaIDs, s.tombs = nil, nil, nil
+	s.delta, s.deltaIDs, s.deltaFPs, s.tombs = nil, nil, nil, nil
 	return nil
 }
 

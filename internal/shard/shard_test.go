@@ -112,9 +112,11 @@ func TestSearchStatsAggregate(t *testing.T) {
 	db, sh, _ := buildEnv(t, 40, 4)
 	q := chem.SampleQueries(db, 1, 8, 5)[0]
 	r := sh.Search(q, 1)
-	// Verified must count every candidate across all shards.
-	if r.Stats.Verified != len(r.Candidates) {
-		t.Errorf("Verified %d != len(Candidates) %d", r.Stats.Verified, len(r.Candidates))
+	// The verification tiers must account for every candidate across all
+	// shards: each one is either prescreen-rejected, answered from the
+	// verify cache, or branch-and-bound verified.
+	if got := r.Stats.Verified + r.Stats.PrescreenRejects + r.Stats.VerifyCacheHits; got != len(r.Candidates) {
+		t.Errorf("Verified+PrescreenRejects+VerifyCacheHits %d != len(Candidates) %d", got, len(r.Candidates))
 	}
 	// Fan-out over 4 shards visits the fragment index 4 times.
 	if r.Stats.QueryFragments == 0 {

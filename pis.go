@@ -172,13 +172,49 @@ type Options struct {
 	// graphs) for a fragment's σ range query to stay worth running:
 	// fragments whose estimated gain falls below it are skipped, and
 	// expansion stops once consecutive range queries observably
-	// eliminate fewer candidates than it (default 1; negative = 0,
-	// expand exhaustively).
+	// eliminate fewer candidates than it.
+	//
+	// Sentinel values: 0 (the zero value) means "use the default",
+	// currently 1. A negative value means a real budget of 0, i.e.
+	// expand exhaustively. There is no way to pass a literal 0; use a
+	// negative value for that. Unless PlannerFeedbackOff is set, the
+	// positive default is replaced at query time by the learned
+	// filter/verify exchange rate.
 	PlannerBudget float64
 	// PlannerCrossover skips remaining range queries once the surviving
 	// candidate set is at most this many graphs and goes straight to
-	// verification (default 16; negative = 0, never cross over).
+	// verification.
+	//
+	// Sentinel values: 0 (the zero value) means "use the default",
+	// currently 16. A negative value means a real crossover of 0, i.e.
+	// never cross over; there is no way to pass a literal 0. The
+	// positive default is only a cold-start guess — unless
+	// PlannerFeedbackOff is set, it is replaced per query by the learned
+	// exchange rate ρ = (observed cost of one σ range query) / (observed
+	// cost of verifying one candidate), clamped to [1, 1024]: once a
+	// range query costs more than verifying the survivors it could at
+	// best eliminate, filtering further is a loss.
 	PlannerCrossover int
+	// PlannerFeedbackOff freezes the planner's filter/verify exchange
+	// rate at the configured PlannerBudget / PlannerCrossover instead of
+	// learning it from observed per-query stage costs.
+	PlannerFeedbackOff bool
+
+	// SignatureWords sizes the superimposed fragment signature of the
+	// verification prescreen, in 64-bit words per graph (default 2 =
+	// 128 bits). Wider signatures make prescreen false drops — graphs
+	// that pass the subset test without containing every query fragment
+	// structure — exponentially rarer, at 8 bytes per graph per word.
+	// Answers are unaffected either way; only how many candidates the
+	// prescreen can refute before branch-and-bound.
+	SignatureWords int
+	// VerifyCacheSize bounds the per-segment verification-result cache
+	// (entries, across both of its rotation generations): exact
+	// branch-and-bound verdicts memoized per (canonical query, graph)
+	// and reused by isomorphic queries until the next compaction folds
+	// the segment into a new index generation. 0 means the default
+	// 32768; negative disables the cache.
+	VerifyCacheSize int
 
 	// QueryTimeout bounds every SearchContext / SearchKNNContext /
 	// SearchBatchContext call (0 = none): queries that run longer are cut
@@ -294,6 +330,8 @@ func (o Options) coreOptions() core.Options {
 		PlannerOff:           o.PlannerOff,
 		PlannerBudget:        o.PlannerBudget,
 		PlannerCrossover:     o.PlannerCrossover,
+		PlannerFeedbackOff:   o.PlannerFeedbackOff,
+		VerifyCacheSize:      o.VerifyCacheSize,
 	}
 }
 
@@ -302,7 +340,7 @@ func (o Options) coreOptions() core.Options {
 func (o Options) segmentConfig() segment.Config {
 	return segment.Config{
 		Mining:          o.miningOptions(),
-		Index:           index.Options{Kind: o.Kind, Metric: o.Metric},
+		Index:           index.Options{Kind: o.Kind, Metric: o.Metric, SignatureWords: o.SignatureWords},
 		Core:            o.coreOptions(),
 		KNNCore:         o.coreOptions(),
 		IndexWorkers:    o.BuildWorkers,
@@ -747,7 +785,7 @@ func NewSharded(graphs []*Graph, nShards int, opts Options) (*Sharded, error) {
 func (o Options) shardConfig() shard.Config {
 	return shard.Config{
 		Mining:          o.miningOptions(),
-		Index:           index.Options{Kind: o.Kind, Metric: o.Metric},
+		Index:           index.Options{Kind: o.Kind, Metric: o.Metric, SignatureWords: o.SignatureWords},
 		Core:            o.coreOptions(),
 		IndexWorkers:    o.BuildWorkers,
 		CompactFraction: o.CompactFraction,

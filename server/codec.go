@@ -83,6 +83,8 @@ type StatsJSON struct {
 	StructCandidates  int `json:"struct_candidates"`
 	RangeCandidates   int `json:"range_candidates"`
 	DistCandidates    int `json:"dist_candidates"`
+	PrescreenRejects  int `json:"prescreen_rejects"`
+	VerifyCacheHits   int `json:"verify_cache_hits"`
 	Verified          int `json:"verified"`
 	// plan_ms is the planning slice of filter_ms (not a disjoint
 	// stage); filter_ms + verify_ms is the full instrumented time.
@@ -100,6 +102,8 @@ func encodeStats(s pis.SearchStats) StatsJSON {
 		StructCandidates:  s.StructCandidates,
 		RangeCandidates:   s.RangeCandidates,
 		DistCandidates:    s.DistCandidates,
+		PrescreenRejects:  s.PrescreenRejects,
+		VerifyCacheHits:   s.VerifyCacheHits,
 		Verified:          s.Verified,
 		PlanMS:            float64(s.PlanTime.Microseconds()) / 1000,
 		FilterMS:          float64(s.FilterTime.Microseconds()) / 1000,

@@ -281,6 +281,30 @@ func TestPoisonedStoreDegradesReadOnly(t *testing.T) {
 	if st := postJSON(t, ts.URL+"/search", SearchRequest{Query: EncodeGraph(sampleQuery(t, 51)), Sigma: 1}, nil); st != http.StatusOK {
 		t.Fatalf("search on poisoned store got %d, want 200", st)
 	}
+
+	// Strict health opts into 503 per request...
+	st, body, _ = getBody(t, ts.URL+"/healthz?strict=1")
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("healthz?strict=1 on poisoned store: %d, want 503", st)
+	}
+	if !strings.Contains(body, "degraded") {
+		t.Fatalf("strict healthz body %q lost the degradation reason", body)
+	}
+}
+
+// TestStrictHealthConfig: Config.StrictHealth flips the default for
+// every probe, and a healthy store answers 200 either way.
+func TestStrictHealthConfig(t *testing.T) {
+	_, db := testEnv(t)
+	ts := newTestServer(t, Config{Backend: poisonedBackend{db}, StrictHealth: true})
+	if st, _, _ := getBody(t, ts.URL+"/healthz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with StrictHealth on poisoned store: %d, want 503", st)
+	}
+
+	healthy := newTestServer(t, Config{Backend: db, StrictHealth: true})
+	if st, body, _ := getBody(t, healthy.URL+"/healthz?strict=1"); st != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("strict healthz on healthy store: %d %q, want 200 ok", st, body)
+	}
 }
 
 // marshalJSON is a tiny helper for tests that need the raw body string

@@ -103,6 +103,12 @@ type Config struct {
 	// QueryLogSize is the /debug/queries ring capacity in queries
 	// (0 = 256; negative keeps the minimum of 1).
 	QueryLogSize int
+	// StrictHealth makes /healthz answer 503 when the store is poisoned
+	// instead of the default 200-with-"degraded"-body. The default keeps
+	// liveness probes from restart-looping a node that still answers
+	// queries; strict mode is for deployments whose load balancer should
+	// drain a degraded node. Per-request override: GET /healthz?strict=1.
+	StrictHealth bool
 }
 
 // maxRequestBody bounds a request body; a /batch of thousands of
@@ -238,14 +244,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.instrument("debug_queries", false, s.handleDebugQueries))
-	// Liveness stays HTTP 200 even when the store is poisoned: the
-	// process is healthy and still answers queries; the degraded body
-	// tells orchestrators (and humans) that mutations are rejected and
-	// the node needs disk attention, without tripping restart loops that
-	// would lose the in-memory delta.
+	// Liveness stays HTTP 200 by default even when the store is
+	// poisoned: the process is healthy and still answers queries; the
+	// degraded body tells orchestrators (and humans) that mutations are
+	// rejected and the node needs disk attention, without tripping
+	// restart loops that would lose the in-memory delta. Readiness-style
+	// probes that should pull a degraded node out of rotation opt into
+	// 503 via Config.StrictHealth or ?strict=1.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if d := s.backend.Durability(); d.Poisoned {
+			if s.cfg.StrictHealth || r.URL.Query().Get("strict") == "1" {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
 			fmt.Fprintf(w, "degraded: store poisoned (read-only): %s\n", d.PoisonReason)
 			return
 		}

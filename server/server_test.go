@@ -125,8 +125,15 @@ func TestSearchEndpoint(t *testing.T) {
 	if resp.Cached {
 		t.Error("first query must not be cached")
 	}
-	if resp.Stats.Verified != want.Stats.Verified {
-		t.Errorf("verified %d, want %d", resp.Stats.Verified, want.Stats.Verified)
+	// The direct Search above already verified this query against the
+	// shared backend, so the HTTP run is answered from the verification
+	// tiers: every candidate is prescreen-rejected, served from the
+	// verify-result cache, or branch-and-bound verified.
+	if got := resp.Stats.Verified + resp.Stats.VerifyCacheHits + resp.Stats.PrescreenRejects; got == 0 {
+		t.Errorf("no candidates accounted for by the verification tiers (want stats had %d verified)", want.Stats.Verified)
+	}
+	if len(resp.Answers) > 0 && resp.Stats.VerifyCacheHits == 0 {
+		t.Errorf("repeat of an identical query hit the verify cache 0 times: %+v", resp.Stats)
 	}
 }
 

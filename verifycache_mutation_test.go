@@ -1,0 +1,98 @@
+package pis_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pis"
+	"pis/gen"
+)
+
+// Differential invalidation tests for the verify-result cache: a fixed
+// query set is kept warm across randomized Insert/Delete/Compact
+// interleavings, so any verdict that outlived its graph — a cached
+// non-answer for an id a compaction renumbered, an exact distance for a
+// tombstoned graph, a stale miss for a fresh delta insert — would show
+// up as a divergence from a freshly built database, which has no cache
+// state at all. The non-vacuity check at the end proves the cache was
+// actually serving verdicts while the mutations happened.
+
+// runVerifyCacheDifferential drives one interleaving, re-running the
+// same warmed queries after every mutation.
+func runVerifyCacheDifferential(t *testing.T, seed int64, db mutableDB, initial []*pis.Graph, opts pis.Options) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := gen.Molecules(20, gen.Config{Seed: seed + 2000})
+	queries := gen.Queries(initial, 4, 7, seed+3000)
+	m := &mutationModel{live: make(map[int32]*pis.Graph)}
+	for i, g := range initial {
+		m.live[int32(i)] = g
+		m.ever = append(m.ever, int32(i))
+	}
+
+	hits := 0
+	check := func(step int) {
+		live := db.LiveIDs()
+		rank := make(map[int32]int32, len(live))
+		survivors := make([]*pis.Graph, len(live))
+		for i, id := range live {
+			g, ok := m.live[id]
+			if !ok {
+				t.Fatalf("step %d: LiveIDs includes deleted id %d", step, id)
+			}
+			rank[id] = int32(i)
+			survivors[i] = g
+		}
+		fresh, err := pis.New(survivors, opts)
+		if err != nil {
+			t.Fatalf("step %d: fresh build: %v", step, err)
+		}
+		for qi, q := range queries {
+			for _, sigma := range []float64{1, 2} {
+				got := db.Search(q, sigma)
+				want := fresh.Search(q, sigma)
+				compareAnswers(t, fmt.Sprintf("step %d q%d σ=%g", step, qi, sigma), got, want, rank)
+				hits += got.Stats.VerifyCacheHits
+			}
+		}
+	}
+
+	// Warm the cache, then interleave mutations with full re-checks of
+	// the same queries after every single operation — the window where a
+	// stale verdict could answer is exactly one mutation wide.
+	check(-1)
+	for step := 0; step < 12; step++ {
+		applyRandomOp(t, rng, db, m, pool)
+		check(step)
+	}
+	if hits == 0 {
+		t.Fatal("verify cache never hit across the warmed workload — differential test is vacuous")
+	}
+}
+
+func TestVerifyCacheMutationDifferentialUnsharded(t *testing.T) {
+	for _, cf := range []float64{0, -1} { // 0 → default auto-compaction, -1 → pure delta+tombstones
+		for seed := int64(0); seed < 2; seed++ {
+			opts := pis.Options{MaxFragmentEdges: 4, CompactFraction: cf}
+			initial := gen.Molecules(25, gen.Config{Seed: 500 + seed})
+			db, err := pis.New(initial, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runVerifyCacheDifferential(t, 600+seed, db, initial, opts)
+		}
+	}
+}
+
+func TestVerifyCacheMutationDifferentialSharded(t *testing.T) {
+	for _, nShards := range []int{2, 3} {
+		opts := pis.Options{MaxFragmentEdges: 4}
+		initial := gen.Molecules(30, gen.Config{Seed: 700})
+		db, err := pis.NewSharded(initial, nShards, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runVerifyCacheDifferential(t, 800+int64(nShards), db, initial, opts)
+	}
+}
