@@ -20,8 +20,13 @@
 //   - verify_cache_hit_rate likewise, measured on the warm pass — a broken
 //     cache key or over-eager invalidation shows up here first
 //
-// The two tier metrics skip automatically against a pre-tier baseline
-// (value 0 or absent), so the gate stays usable across the transition.
+// Three out-of-core metrics are gated the same way when present:
+// peak_rss_mb and index_open_ms_mapped must not rise, queries_per_sec
+// already covers mapped throughput (a BENCH file measured with -large
+// runs its query loop against the mapped index).
+//
+// Metrics skip automatically against a baseline that predates them
+// (value 0 or absent), so the gate stays usable across transitions.
 //
 // Improvements never fail the gate; benchgate prints a hint to refresh
 // the baseline when the current report is clearly better. To accept an
@@ -29,9 +34,15 @@
 //
 //	go run ./cmd/pisbench -figure timing -n 600 -queries 60 -json BENCH_pis.json
 //
+// -check validates a single out-of-core report against the absolute
+// invariants of the streaming build (no baseline involved): answers
+// non-empty, positive mapped throughput, and build peak RSS under 50%
+// of the raw posting volume the build avoided holding in heap.
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_pis.json -current /tmp/BENCH_new.json [-tolerance 0.2]
+//	benchgate -check BENCH_pis_100k.json
 package main
 
 import (
@@ -51,8 +62,13 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_pis.json", "committed baseline report")
 		currentPath  = flag.String("current", "", "freshly measured report (required)")
 		tolerance    = flag.Float64("tolerance", 0.2, "relative regression tolerance (0.2 = 20%)")
+		checkPath    = flag.String("check", "", "validate this out-of-core report against absolute invariants instead of a baseline")
 	)
 	flag.Parse()
+	if *checkPath != "" {
+		check(read(*checkPath))
+		return
+	}
 	if *currentPath == "" {
 		log.Fatal("-current is required")
 	}
@@ -75,6 +91,8 @@ func main() {
 		{"avg_allocs_per_query", baseline.AvgAllocsPerQuery, current.AvgAllocsPerQuery, false},
 		{"avg_prescreen_rejects", baseline.AvgPrescreenRejects, current.AvgPrescreenRejects, true},
 		{"verify_cache_hit_rate", baseline.VerifyCacheHitRate, current.VerifyCacheHitRate, true},
+		{"peak_rss_mb", baseline.PeakRSSMB, current.PeakRSSMB, false},
+		{"index_open_ms_mapped", baseline.IndexOpenMSMapped, current.IndexOpenMSMapped, false},
 	}
 
 	failed, improved := false, false
@@ -112,6 +130,47 @@ func main() {
 	default:
 		fmt.Println("\nPASS")
 	}
+}
+
+// check enforces the absolute invariants of an out-of-core report: the
+// mapped index must actually answer queries, and the streaming build's
+// working set must stay under half the posting volume it sorted.
+func check(rep harness.BenchReport) {
+	fail := false
+	assert := func(ok bool, format string, args ...any) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("%-4s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+	assert(rep.DBSize > 0, "db_size %d > 0", rep.DBSize)
+	assert(rep.RawPostingBytes > 0, "raw_posting_bytes %d > 0 (report came from a -large run)", rep.RawPostingBytes)
+	assert(rep.AvgAnswers > 0, "avg_answers %.2f > 0 (mapped queries find answers)", rep.AvgAnswers)
+	assert(rep.QueriesPerSec > 0, "queries_per_sec %.2f > 0", rep.QueriesPerSec)
+	assert(rep.IndexOpenMSMapped > 0, "index_open_ms_mapped %.2f > 0", rep.IndexOpenMSMapped)
+	// The RSS budget is only meaningful when the posting volume dwarfs a
+	// Go process's fixed footprint (runtime, code, GC headroom — tens of
+	// MiB regardless of the database); below the threshold the bound
+	// would fail for any implementation, streaming or not.
+	const rssGateMinPostingMB = 128
+	rawMB := float64(rep.RawPostingBytes) / (1 << 20)
+	switch {
+	case rep.BuildPeakRSSMB <= 0:
+		fmt.Println("skip  build_peak_rss_mb unavailable (no /proc on the measuring host)")
+	case rawMB < rssGateMinPostingMB:
+		fmt.Printf("skip  build_peak_rss_mb %.1f: posting volume %.1f MiB under the %d MiB gate threshold\n",
+			rep.BuildPeakRSSMB, rawMB, rssGateMinPostingMB)
+	default:
+		assert(rep.BuildPeakRSSMB < 0.5*rawMB,
+			"build_peak_rss_mb %.1f < 50%% of raw posting volume (%.1f MiB)", rep.BuildPeakRSSMB, rawMB)
+	}
+	if fail {
+		fmt.Println("\nFAIL: out-of-core invariants violated.")
+		os.Exit(1)
+	}
+	fmt.Println("\nPASS")
 }
 
 func read(path string) harness.BenchReport {

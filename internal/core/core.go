@@ -333,6 +333,7 @@ type scratch struct {
 	rbuf       index.RangeBuffer   // shared dedup/probe scratch for all range queries
 	infos      []fragInfo
 	bufA, bufB []int32 // candidate set double buffer
+	postBuf    []int32 // decoded posting list (mapped classes decode on demand)
 	lbs        []float64
 	cursors    []int
 	sizeOrder  []int32
@@ -756,7 +757,7 @@ func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats, sc 
 		if sigma == 0 {
 			scale = 1
 		}
-		static := scale * (n - float64(len(qf.Class.Postings()))) / n
+		static := scale * (n - float64(qf.Class.PostingCount())) / n
 		if static <= s.opts.Epsilon {
 			continue
 		}
@@ -768,7 +769,7 @@ func (s *Searcher) usableFragments(q *graph.Graph, sigma float64, st *Stats, sc 
 			if ci.NumE != cj.NumE {
 				return ci.NumE > cj.NumE
 			}
-			return len(ci.Postings()) < len(cj.Postings())
+			return ci.PostingCount() < cj.PostingCount()
 		})
 		kept = kept[:limit]
 	}
@@ -793,15 +794,16 @@ func (s *Searcher) structuralCandidates(frags []index.QueryFragment, sc *scratch
 	}
 	sc.sizeOrder = order
 	slices.SortFunc(order, func(a, b int32) int {
-		return len(frags[a].Class.Postings()) - len(frags[b].Class.Postings())
+		return frags[a].Class.PostingCount() - frags[b].Class.PostingCount()
 	})
-	cur := append(sc.bufA[:0], frags[order[0]].Class.Postings()...)
+	cur := frags[order[0]].Class.AppendPostings(sc.bufA[:0])
 	nxt := sc.bufB[:0]
 	for _, i := range order[1:] {
 		if len(cur) == 0 {
 			break
 		}
-		nxt = intersectSorted(nxt[:0], cur, frags[i].Class.Postings())
+		sc.postBuf = frags[i].Class.AppendPostings(sc.postBuf[:0])
+		nxt = intersectSorted(nxt[:0], cur, sc.postBuf)
 		cur, nxt = nxt, cur
 	}
 	if tombs != nil {

@@ -1,0 +1,46 @@
+// Incremental form of Fingerprint for streaming builds that never hold
+// the whole graph set in memory. NewFingerprinter(n) + n×Add + Sum is
+// bit-identical to Fingerprint over the same n graphs in the same order:
+// the set size is hashed first, which is why it must be declared up
+// front.
+
+package graph
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+)
+
+// Fingerprinter accumulates the database fingerprint one graph at a time.
+type Fingerprinter struct {
+	h   hash.Hash64
+	buf []byte
+}
+
+// NewFingerprinter starts a fingerprint over exactly n graphs.
+func NewFingerprinter(n int) *Fingerprinter {
+	f := &Fingerprinter{h: fnv.New64a()}
+	var scratch [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(scratch[:], uint64(n))
+	f.h.Write(scratch[:k])
+	return f
+}
+
+// Add folds the next graph in.
+func (f *Fingerprinter) Add(g *Graph) {
+	f.buf = g.AppendBinary(f.buf[:0])
+	var scratch [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(scratch[:], uint64(len(f.buf)))
+	f.h.Write(scratch[:k])
+	f.h.Write(f.buf)
+}
+
+// Sum returns the fingerprint, never zero (matching Fingerprint).
+func (f *Fingerprinter) Sum() uint64 {
+	fp := f.h.Sum64()
+	if fp == 0 {
+		return 1
+	}
+	return fp
+}

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -149,6 +151,75 @@ func TestFilterTiming(t *testing.T) {
 	}
 	if expanded > usable {
 		t.Fatalf("planner expanded %.1f of %.1f usable fragments", expanded, usable)
+	}
+}
+
+func TestMeasureLargeSynthetic(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 12
+	// A deliberately tiny arena forces the external sort to spill and
+	// merge even at this scale, exercising the same path a 100k build
+	// takes.
+	rep, err := MeasureLarge(cfg, 16, 2, LargeOptions{ArenaBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DBSize != cfg.DBSize || rep.Queries != cfg.Queries {
+		t.Fatalf("report covers %d graphs / %d queries", rep.DBSize, rep.Queries)
+	}
+	if rep.StreamSpillRuns < 1 {
+		t.Error("64 KiB arena never spilled")
+	}
+	if rep.RawPostingBytes <= 0 {
+		t.Error("no raw posting volume reported")
+	}
+	if rep.AvgAnswers <= 0 {
+		t.Error("mapped queries returned no answers")
+	}
+	if rep.QueriesPerSec <= 0 {
+		t.Error("no throughput measured")
+	}
+	if rep.IndexOpenMSMapped <= 0 || rep.IndexOpenMSHeap <= 0 {
+		t.Errorf("open timings missing: mapped %v heap %v", rep.IndexOpenMSMapped, rep.IndexOpenMSHeap)
+	}
+	if _, err := os.Stat("/proc/self/status"); err == nil && rep.BuildPeakRSSMB <= 0 {
+		t.Error("build peak RSS not captured despite /proc being available")
+	}
+}
+
+func TestCorpusSource(t *testing.T) {
+	dir := t.TempDir()
+	smi := filepath.Join(dir, "tiny.smi")
+	if err := os.WriteFile(smi, []byte("CCO\nc1ccccc1 benzene\nCCC\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, sample, err := scanCorpus(smi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(sample) != 2 {
+		t.Fatalf("scanCorpus = %d molecules, %d sampled; want 3, 2", n, len(sample))
+	}
+	src, stop, err := buildSource(Config{}, LargeOptions{Corpus: smi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("corpus source yielded %d graphs, want 3", got)
+	}
+	if _, _, err := openCorpus(filepath.Join(dir, "tiny.xyz")); err == nil {
+		t.Fatal("unknown extension accepted")
 	}
 }
 

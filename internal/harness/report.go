@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -94,6 +95,23 @@ type BenchReport struct {
 	IndexLoadMS        float64 `json:"index_load_ms"`
 	IndexBytes         int     `json:"index_bytes"`
 	LoadVsBuildSpeedup float64 `json:"load_vs_build_speedup"`
+
+	// Out-of-core profile. PeakRSSMB is the process high-water mark at
+	// the end of the measurement (0 where /proc is unavailable); the
+	// open timings compare demand-paged mmap against decoding the same
+	// v3 image onto the heap. The remaining fields are filled only by
+	// MeasureLarge: BuildPeakRSSMB is the high-water mark right after
+	// the streaming build — before the query phase materializes the
+	// graphs — and RawPostingBytes is the uncompressed posting volume a
+	// heap build would have held resident, the denominator of the
+	// build's RSS budget.
+	PeakRSSMB         float64 `json:"peak_rss_mb"`
+	IndexOpenMSMapped float64 `json:"index_open_ms_mapped"`
+	IndexOpenMSHeap   float64 `json:"index_open_ms_heap"`
+	BuildPeakRSSMB    float64 `json:"build_peak_rss_mb,omitempty"`
+	RawPostingBytes   int64   `json:"raw_posting_bytes,omitempty"`
+	StreamSpillRuns   int     `json:"stream_spill_runs,omitempty"`
+	StreamSpillBytes  int64   `json:"stream_spill_bytes,omitempty"`
 }
 
 // StageQuantiles summarizes one stage's latency distribution in
@@ -224,7 +242,38 @@ func Measure(env *Env, queryEdges int, sigma float64) BenchReport {
 			}
 		}
 	}
+	measureOpenCost(env.Index, &rep)
+	rep.PeakRSSMB = peakRSSMB()
 	return rep
+}
+
+// measureOpenCost times opening the index's v3 image both ways: mmap
+// (directory decode only, slabs demand-paged) and full heap decode.
+// Failures leave the fields 0, which the benchmark gate skips.
+func measureOpenCost(x *index.Index, rep *BenchReport) {
+	f, err := os.CreateTemp("", "pis-bench-*.pisidx3")
+	if err != nil {
+		return
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := x.WriteMapped(path); err != nil {
+		return
+	}
+	start := time.Now()
+	if mx, err := index.OpenMapped(path, x.Options().Metric); err == nil {
+		rep.IndexOpenMSMapped = ms(time.Since(start))
+		mx.Close()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	start = time.Now()
+	if _, err := index.Load(bytes.NewReader(data), x.Options().Metric); err == nil {
+		rep.IndexOpenMSHeap = ms(time.Since(start))
+	}
 }
 
 // WriteJSON writes the report, indented, to w.

@@ -150,10 +150,16 @@ func (x *Index) computeFingerprints(db []*graph.Graph) {
 		fps[i].Sig = slab[i*words : (i+1)*words : (i+1)*words]
 	}
 	bits := uint32(words * 64)
+	var postBuf []int32
 	for _, c := range x.list {
+		ids := c.postings
+		if c.mapped {
+			postBuf = c.AppendPostings(postBuf[:0])
+			ids = postBuf
+		}
 		for _, b := range classSigBits(c.Key, bits) {
 			w, m := b>>6, uint64(1)<<(b&63)
-			for _, id := range c.postings {
+			for _, id := range ids {
 				fps[id].Sig[w] |= m
 			}
 		}

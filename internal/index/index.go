@@ -26,6 +26,7 @@ import (
 	"pis/internal/distance"
 	"pis/internal/graph"
 	"pis/internal/mining"
+	"pis/internal/mmapio"
 	"pis/internal/rtree"
 	"pis/internal/trie"
 	"pis/internal/vptree"
@@ -99,6 +100,16 @@ type Class struct {
 	postings  []int32 // sorted unique graph ids containing the structure
 	fragments int     // total fragment occurrences folded in
 
+	// Mapped (v3, out-of-core) state: the class's stored entries and
+	// posting list live as delta+varint blocks inside the file mapping,
+	// decoded on demand. When mapped is set the heap structures above
+	// (trie/vp/rt/postings) are nil.
+	mapped    bool
+	entBlock  []byte
+	postBlock []byte
+	entCount  int
+	postCount int
+
 	// stats feeds the cost-based query planner; computed at build time,
 	// persisted in v2 streams, recomputed for legacy ones (see stats.go).
 	stats ClassStats
@@ -109,8 +120,33 @@ type Class struct {
 func (c *Class) SeqLen() int { return c.vOff + c.NumE }
 
 // Postings returns the sorted graph ids containing this structure.
-// Callers must not modify the slice.
-func (c *Class) Postings() []int32 { return c.postings }
+// Callers must not modify the slice. On a mapped class this decodes a
+// fresh slice per call — hot paths use PostingCount/AppendPostings.
+func (c *Class) Postings() []int32 {
+	if c.mapped {
+		return c.AppendPostings(nil)
+	}
+	return c.postings
+}
+
+// PostingCount returns the posting-list length without decoding it.
+func (c *Class) PostingCount() int {
+	if c.mapped {
+		return c.postCount
+	}
+	return len(c.postings)
+}
+
+// AppendPostings appends the sorted posting ids to dst and returns it,
+// decoding from the mapped block when out-of-core. Allocation-free when
+// dst has capacity.
+func (c *Class) AppendPostings(dst []int32) []int32 {
+	if !c.mapped {
+		return append(dst, c.postings...)
+	}
+	cur := blockCursor{b: c.postBlock}
+	return cur.idList(dst, c.postCount)
+}
 
 // Fragments returns the number of fragment occurrences inserted.
 func (c *Class) Fragments() int { return c.fragments }
@@ -132,6 +168,11 @@ type Index struct {
 	// nil on an index loaded from a stream written before fingerprints
 	// existed, until EnsureFingerprints recomputes them.
 	fps []GraphFP
+
+	// mapping backs an out-of-core index opened with OpenMapped; nil for
+	// a heap index. mappedPath remembers the backing file.
+	mapping    *mmapio.Mapping
+	mappedPath string
 }
 
 // Classes returns all classes ordered by ID.
@@ -490,6 +531,9 @@ type RangeBuffer struct {
 
 	useq []uint32  // flat storage of already-probed sequence variants
 	vvec []float64 // R-tree probe variant
+
+	mseq []uint32  // mapped scan: decoded stored sequence
+	mvec []float64 // mapped scan: decoded stored vector
 }
 
 // begin resets the buffer for a database of n graphs.
@@ -533,6 +577,14 @@ func (x *Index) RangeQueryInto(qf QueryFragment, sigma float64, pl *PostingList,
 		if d < rb.dense[id] {
 			rb.dense[id] = d
 		}
+	}
+	if c.mapped {
+		x.mappedRange(c, qf, sigma, rb, record)
+		slices.Sort(pl.IDs)
+		for _, id := range pl.IDs {
+			pl.Dists = append(pl.Dists, rb.dense[id])
+		}
+		return
 	}
 	switch x.opts.Kind {
 	case TrieIndex:
@@ -627,7 +679,11 @@ func (x *Index) Stats() Stats {
 	s := Stats{Classes: len(x.list)}
 	for _, c := range x.list {
 		s.Fragments += c.fragments
-		s.Postings += len(c.postings)
+		s.Postings += c.PostingCount()
+		if c.mapped {
+			s.Sequences += c.entCount
+			continue
+		}
 		if c.trie != nil {
 			s.Sequences += c.trie.Sequences()
 		}

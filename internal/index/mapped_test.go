@@ -1,0 +1,334 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/mining"
+)
+
+type sliceSource struct {
+	db []*graph.Graph
+	i  int
+}
+
+func (s *sliceSource) Next() (*graph.Graph, bool) {
+	if s.i >= len(s.db) {
+		return nil, false
+	}
+	g := s.db[s.i]
+	s.i++
+	return g, true
+}
+
+// queriesEqual asserts that every range query over a few query graphs
+// answers identically (ids and distances) on a and b.
+func queriesEqual(t *testing.T, label string, a, b *Index, db []*graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var pa, pb PostingList
+	var ra, rb RangeBuffer
+	checked := 0
+	for attempts := 0; attempts < 40 && checked < 15; attempts++ {
+		q := db[rng.Intn(len(db))]
+		qfa := a.QueryFragments(q)
+		qfb := b.QueryFragments(q)
+		if len(qfa) != len(qfb) {
+			t.Fatalf("%s: fragment count %d vs %d", label, len(qfa), len(qfb))
+		}
+		if len(qfa) == 0 {
+			continue
+		}
+		i := rng.Intn(len(qfa))
+		if qfa[i].Class.Key != qfb[i].Class.Key {
+			t.Fatalf("%s: fragment %d class %q vs %q", label, i, qfa[i].Class.Key, qfb[i].Class.Key)
+		}
+		sigma := float64(rng.Intn(4))
+		a.RangeQueryInto(qfa[i], sigma, &pa, &ra, nil)
+		b.RangeQueryInto(qfb[i], sigma, &pb, &rb, nil)
+		if len(pa.IDs) != len(pb.IDs) {
+			t.Fatalf("%s: sigma=%v result size %d vs %d", label, sigma, len(pa.IDs), len(pb.IDs))
+		}
+		for k := range pa.IDs {
+			if pa.IDs[k] != pb.IDs[k] || pa.Dists[k] != pb.Dists[k] {
+				t.Fatalf("%s: sigma=%v result %d: (%d,%v) vs (%d,%v)",
+					label, sigma, k, pa.IDs[k], pa.Dists[k], pb.IDs[k], pb.Dists[k])
+			}
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("%s: only %d queries checked", label, checked)
+	}
+}
+
+func testMappedDifferential(t *testing.T, kind Kind, metric distance.Metric) {
+	t.Helper()
+	x, db := buildSmall(t, kind, metric, 17, 40)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.pisidx3")
+	if err := x.WriteMapped(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 1: mapped open.
+	mx, err := OpenMapped(path, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mx.Close()
+	if !mx.IsMapped() || mx.MappedPath() != path {
+		t.Fatalf("IsMapped=%v MappedPath=%q", mx.IsMapped(), mx.MappedPath())
+	}
+	if mx.Fingerprint() != x.Fingerprint() {
+		t.Fatalf("fingerprint %x vs %x", mx.Fingerprint(), x.Fingerprint())
+	}
+	queriesEqual(t, "mapped-vs-build", mx, x, db)
+
+	// Leg 2: heap Load of the same v3 stream.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx, err := Load(bytes.NewReader(data), metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hx.IsMapped() {
+		t.Fatal("Load returned a mapped index")
+	}
+	queriesEqual(t, "heapload-vs-mapped", hx, mx, db)
+	if hs, ms := hx.Stats(), mx.Stats(); hs != ms {
+		t.Fatalf("stats mismatch: heap %+v mapped %+v", hs, ms)
+	}
+
+	// Leg 3: streaming build over the same graphs → mapped open.
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 3, MinSupportFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, "stream.pisidx3")
+	resStream, err := BuildStreaming(&sliceSource{db: db}, len(db), feats,
+		Options{Kind: kind, Metric: metric}, spath,
+		StreamOptions{TempDir: dir, ArenaBytes: 1 << 12}) // tiny arena: force many spill runs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resStream.Graphs != len(db) || resStream.SpillRuns < 2 {
+		t.Fatalf("stream result %+v: expected %d graphs and >1 run", resStream, len(db))
+	}
+	sx, err := OpenMapped(spath, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	if sx.Fingerprint() != x.Fingerprint() {
+		t.Fatalf("streaming fingerprint %x vs build %x", sx.Fingerprint(), x.Fingerprint())
+	}
+	queriesEqual(t, "streamed-vs-build", sx, x, db)
+
+	// Posting accessors agree between mapped and heap classes.
+	for i, c := range x.Classes() {
+		mc := mx.Classes()[i]
+		if c.Key != mc.Key {
+			t.Fatalf("class %d key %q vs %q", i, c.Key, mc.Key)
+		}
+		if got, want := mc.PostingCount(), len(c.Postings()); got != want {
+			t.Fatalf("class %d posting count %d vs %d", i, got, want)
+		}
+		got := mc.AppendPostings(nil)
+		want := c.Postings()
+		if len(got) != len(want) {
+			t.Fatalf("class %d postings %v vs %v", i, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("class %d postings %v vs %v", i, got, want)
+			}
+		}
+		if c.Fragments() != mc.Fragments() {
+			t.Fatalf("class %d fragments %d vs %d", i, c.Fragments(), mc.Fragments())
+		}
+	}
+
+	// Save of a mapped index streams the v3 image verbatim and reloads.
+	var buf bytes.Buffer
+	if err := mx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("mapped Save is not the file image")
+	}
+	rx, err := Load(&buf, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriesEqual(t, "saveload-vs-build", rx, x, db)
+}
+
+func TestMappedDifferentialTrie(t *testing.T) {
+	testMappedDifferential(t, TrieIndex, distance.EdgeMutation{})
+}
+
+func TestMappedDifferentialVPTree(t *testing.T) {
+	testMappedDifferential(t, VPTreeIndex, distance.EdgeMutation{})
+}
+
+func TestMappedDifferentialRTree(t *testing.T) {
+	testMappedDifferential(t, RTreeIndex, distance.Linear{})
+}
+
+func TestMappedDifferentialFullMetric(t *testing.T) {
+	testMappedDifferential(t, TrieIndex, distance.FullMutation{})
+}
+
+// v3Sections walks the section framing of a v3 image and returns the
+// [start,end) byte ranges of each pre-slab section payload plus the slab
+// offset, so corruption tests can target every region precisely.
+func v3Sections(t *testing.T, data []byte) (sections [][2]int, slabOff int) {
+	t.Helper()
+	off := len(persistMagicV3)
+	for off < len(data) {
+		if off+4 > len(data) {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		payload := [2]int{off + 4, off + 4 + n}
+		sections = append(sections, payload)
+		off = payload[1] + 4 // skip CRC
+		if len(sections) == 1 {
+			// Header section: slab offset is the 8 bytes before the final 8
+			// (slabOff u64, slabLen u64 end the payload).
+			so := binary.LittleEndian.Uint64(data[payload[1]-16 : payload[1]-8])
+			slabOff = int(so)
+		}
+		if len(sections) >= 3 || (slabOff > 0 && off >= slabOff) {
+			break
+		}
+	}
+	return sections, slabOff
+}
+
+// TestMappedCorruption flips bits in every section and every per-class
+// slab block and asserts OpenMapped fails with the damaged region named.
+func TestMappedCorruption(t *testing.T) {
+	metric := distance.EdgeMutation{}
+	x, _ := buildSmall(t, TrieIndex, metric, 5, 25)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.pisidx3")
+	if err := x.WriteMapped(path); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, slabOff := v3Sections(t, clean)
+	if len(sections) < 3 {
+		t.Fatalf("expected header+directory+fp sections, found %d", len(sections))
+	}
+	if slabOff%v3SlabAlign != 0 || slabOff >= len(clean) {
+		t.Fatalf("slab offset %d not page aligned inside %d-byte file", slabOff, len(clean))
+	}
+
+	expectFail := func(name string, data []byte, wantSub string) {
+		t.Helper()
+		p := filepath.Join(dir, "bad.pisidx3")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bx, err := OpenMapped(p, metric)
+		if err == nil {
+			bx.Close()
+			t.Fatalf("%s: corruption not detected", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not name %q", name, err, wantSub)
+		}
+	}
+
+	flip := func(pos int) []byte {
+		d := append([]byte(nil), clean...)
+		d[pos] ^= 0x40
+		return d
+	}
+
+	names := []string{"mapped header", "mapped directory", "mapped fingerprint section"}
+	for i, sec := range sections[:3] {
+		mid := (sec[0] + sec[1]) / 2
+		expectFail(names[i]+" bitflip", flip(mid), names[i])
+	}
+
+	// Magic damage: not a v3 image at all.
+	expectFail("magic bitflip", flip(2), "index:")
+
+	// Slab damage: every class's entry and posting block, at its first
+	// byte, mid-point, and last byte.
+	for ci := range x.Classes() {
+		mx, err := OpenMapped(path, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := mx.Classes()[ci]
+		for _, blk := range []struct {
+			name string
+			b    []byte
+		}{{"entry", mc.entBlock}, {"posting", mc.postBlock}} {
+			if len(blk.b) == 0 {
+				continue
+			}
+			// Locate the block inside the file via its offset from the
+			// mapping's slab start.
+			start := slabOff + offsetIn(mx.mapping.Data()[slabOff:], blk.b)
+			for _, pos := range []int{start, start + len(blk.b)/2, start + len(blk.b) - 1} {
+				expectFail(blk.name+" block bitflip", flip(pos), blk.name+" block")
+			}
+		}
+		mx.Close()
+	}
+
+	// Truncations at every section boundary and inside the slab.
+	expectFail("truncated before directory", clean[:sections[0][1]+4], "directory")
+	expectFail("truncated mid-directory", clean[:(sections[1][0]+sections[1][1])/2], "directory")
+	expectFail("truncated before fp", clean[:sections[1][1]+4], "fingerprint")
+	expectFail("truncated mid-slab", clean[:slabOff+(len(clean)-slabOff)/2], "truncated")
+	expectFail("truncated before slab", clean[:slabOff], "truncated")
+}
+
+// offsetIn returns the byte offset of sub inside outer (both must alias
+// the same backing array).
+func offsetIn(outer, sub []byte) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	for i := range outer {
+		if &outer[i] == &sub[0] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestStreamingRejectsShortSource: a source that ends before the
+// declared size must fail, not silently produce a partial index.
+func TestStreamingRejectsShortSource(t *testing.T) {
+	metric := distance.EdgeMutation{}
+	_, db := buildSmall(t, TrieIndex, metric, 3, 10)
+	feats, err := mining.Mine(db, mining.Options{MaxEdges: 3, MinSupportFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.pisidx3")
+	_, err = BuildStreaming(&sliceSource{db: db[:5]}, len(db), feats,
+		Options{Kind: TrieIndex, Metric: metric}, path, StreamOptions{})
+	if err == nil || !strings.Contains(err.Error(), "ended after") {
+		t.Fatalf("short source not rejected: %v", err)
+	}
+}

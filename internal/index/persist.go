@@ -87,8 +87,16 @@ type persistIndex struct {
 // Save writes the index to w in the v2 binary format. The metric itself
 // is not serialized — the caller supplies an equivalent metric to Load —
 // but its vertex-blindness is recorded and checked, since it changes the
-// stored sequence layout.
-func (x *Index) Save(w io.Writer) error { return x.save(w, true) }
+// stored sequence layout. A mapped index streams its v3 file image
+// verbatim (the bytes are already its canonical serialization, and Load
+// understands v3 streams).
+func (x *Index) Save(w io.Writer) error {
+	if x.mapping != nil {
+		_, err := w.Write(x.mapping.Data())
+		return err
+	}
+	return x.save(w, true)
+}
 
 // save writes the v2 stream; withStats=false omits the trailing
 // planner-stats and fingerprint sections (the shape of streams written
@@ -239,6 +247,15 @@ func Load(r io.Reader, metric distance.Metric) (*Index, error) {
 	if err == nil && bytes.Equal(head, []byte(persistMagicV2)) {
 		br.Discard(len(persistMagicV2))
 		return loadV2(br, metric)
+	}
+	if err == nil && bytes.Equal(head, []byte(persistMagicV3)) {
+		// A mapped-format stream loads fully into heap structures: Load is
+		// the portability path, OpenMapped the out-of-core one.
+		data, rerr := io.ReadAll(br)
+		if rerr != nil {
+			return nil, fmt.Errorf("index: reading v3 stream: %w", rerr)
+		}
+		return loadV3Heap(data, metric)
 	}
 	// Not the v2 magic: try the legacy gob stream, whose own magic field
 	// rejects arbitrary garbage.

@@ -1,0 +1,779 @@
+// The v3 mapped index format ("PISIDX3\n"): the out-of-core layout that
+// lets an index far larger than RAM serve queries through a memory
+// mapping. The file is two regions:
+//
+//	"PISIDX3\n"
+//	header section     kind, vertex-blindness, maxFragmentEdges, dbSize,
+//	                   db fingerprint, class count, signature words,
+//	                   fp-section flag, slab offset + length
+//	directory section  per class: canonical code, vOff, fragment count,
+//	                   posting count/offset/length/CRC, entry
+//	                   count/offset/length/CRC, planner stats
+//	fingerprints       per-graph prescreen fingerprints (v2 encoding)
+//	zero padding       to the page-aligned slab offset
+//	slab               per-class posting + entry blocks, delta+varint
+//
+// Everything above the slab is small and heap-resident after OpenMapped
+// (the "directory"); the slab — posting lists and stored sequences, the
+// part that grows with the database — is only ever touched through the
+// mapping, decoded block-by-block into pooled scratch by RangeQueryInto.
+// Every section and every per-class slab block carries its own CRC32, so
+// OpenMapped names exactly what is corrupted or truncated, in the same
+// spirit as the v2 checksummed sections and the store's WAL frames.
+//
+// Slab encodings (offsets in the directory are relative to the slab):
+//
+//	postings block   uvarint first id, then uvarint gaps (ascending ids)
+//	trie entry       SeqLen uvarint symbols, uvarint id count,
+//	                 uvarint first id, uvarint gaps
+//	vptree entry     SeqLen uvarint symbols, uvarint id
+//	rtree entry      SeqLen little-endian float64s, uvarint id
+//
+// Entries are sorted (sequences lexicographically, vectors numerically,
+// ids ascending within ties) so the heap writer and the external-sort
+// streaming builder lay out identical structures.
+
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"pis/internal/binio"
+	"pis/internal/canon"
+	"pis/internal/distance"
+	"pis/internal/graph"
+	"pis/internal/mmapio"
+	"pis/internal/rtree"
+)
+
+// persistMagicV3 leads the mapped index file; 8 bytes, checked verbatim.
+const persistMagicV3 = "PISIDX3\n"
+
+// v3SlabAlign page-aligns the slab so mapped block reads never straddle
+// the header region and the kernel can fault slab pages independently.
+const v3SlabAlign = 4096
+
+// v3Header carries the decoded header section.
+type v3Header struct {
+	kind        Kind
+	vertexBlind bool
+	maxEdges    int
+	dbSize      int
+	fingerprint uint64
+	nClasses    int
+	sigWords    int
+	hasFPs      bool
+	slabOff     uint64
+	slabLen     uint64
+}
+
+// v3DirClass is one decoded (or staged) directory entry.
+type v3DirClass struct {
+	code      canon.Code
+	vOff      int
+	fragments int
+
+	postCount int
+	postOff   uint64
+	postLen   uint64
+	postCRC   uint32
+
+	entCount int
+	entOff   uint64
+	entLen   uint64
+	entCRC   uint32
+
+	stats ClassStats
+}
+
+// v3SlabWriter accumulates one class's blocks into the slab, tracking
+// offset and CRC per block so directory entries can be staged without
+// buffering block bytes beyond the writer's own buffering.
+type v3SlabWriter struct {
+	w   io.Writer
+	off uint64
+	crc uint32
+	buf []byte
+	err error
+}
+
+func (s *v3SlabWriter) beginBlock() (startOff uint64) { s.crc = 0; return s.off }
+
+func (s *v3SlabWriter) flushBuf() {
+	if len(s.buf) == 0 || s.err != nil {
+		return
+	}
+	s.crc = crc32.Update(s.crc, crc32.IEEETable, s.buf)
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+	s.off += uint64(len(s.buf))
+	s.buf = s.buf[:0]
+}
+
+func (s *v3SlabWriter) uvarint(v uint64) {
+	s.buf = binary.AppendUvarint(s.buf, v)
+	if len(s.buf) >= 1<<16 {
+		s.flushBuf()
+	}
+}
+
+func (s *v3SlabWriter) f64(v float64) {
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, math.Float64bits(v))
+	if len(s.buf) >= 1<<16 {
+		s.flushBuf()
+	}
+}
+
+// endBlock flushes pending bytes and returns the block's length and CRC.
+func (s *v3SlabWriter) endBlock(startOff uint64) (length uint64, crc uint32) {
+	s.flushBuf()
+	return s.off - startOff, s.crc
+}
+
+// ids appends an ascending id list as first + gaps.
+func (s *v3SlabWriter) ids(ids []int32) {
+	for i, id := range ids {
+		if i == 0 {
+			s.uvarint(uint64(uint32(id)))
+		} else {
+			s.uvarint(uint64(uint32(id - ids[i-1])))
+		}
+	}
+}
+
+// WriteMapped writes the index to path in the v3 mapped format,
+// atomically (temp file + rename). The result round-trips through both
+// OpenMapped (zero-copy) and Load (heap).
+func (x *Index) WriteMapped(path string) error {
+	if x.mapping != nil {
+		// Already mapped: the file bytes are the canonical representation.
+		return copyFileBytes(path, x.mapping.Data())
+	}
+	var slab bytes.Buffer
+	sw := &v3SlabWriter{w: &slab}
+	dir := make([]v3DirClass, 0, len(x.list))
+	for _, c := range x.list {
+		dc := v3DirClass{
+			code:      c.Code,
+			vOff:      c.vOff,
+			fragments: c.fragments,
+			stats:     c.stats,
+		}
+		// Entries first, postings second: the streaming builder produces
+		// entries before it knows the class's full posting set, and the
+		// heap writer mirrors its layout.
+		entOff := sw.beginBlock()
+		dc.entOff = entOff
+		dc.entCount = x.writeClassEntries(sw, c)
+		dc.entLen, dc.entCRC = sw.endBlock(entOff)
+		postOff := sw.beginBlock()
+		dc.postOff = postOff
+		dc.postCount = len(c.postings)
+		sw.ids(c.postings)
+		dc.postLen, dc.postCRC = sw.endBlock(postOff)
+		dir = append(dir, dc)
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	hdr := v3Header{
+		kind:        x.opts.Kind,
+		vertexBlind: distance.IgnoresVertices(x.opts.Metric),
+		maxEdges:    x.opts.MaxFragmentEdges,
+		dbSize:      x.dbSize,
+		fingerprint: x.fingerprint,
+		nClasses:    len(dir),
+		sigWords:    x.opts.sigWords(),
+		hasFPs:      x.fps != nil,
+		slabLen:     uint64(slab.Len()),
+	}
+	var writeFPs func(fsw *binio.SectionWriter)
+	if hdr.hasFPs {
+		writeFPs = func(fsw *binio.SectionWriter) { encodeFPPayload(fsw, x.opts.sigWords(), x.fps) }
+	}
+	return writeV3File(path, hdr, dir, writeFPs, bytes.NewReader(slab.Bytes()))
+}
+
+// writeClassEntries encodes the class's stored entries in canonical
+// sorted order, returning the entry count.
+func (x *Index) writeClassEntries(sw *v3SlabWriter, c *Class) int {
+	switch x.opts.Kind {
+	case TrieIndex:
+		type ent struct {
+			seq    []uint32
+			graphs []int32
+		}
+		var ents []ent
+		c.trie.Walk(func(seq []uint32, graphs []int32) {
+			ents = append(ents, ent{append([]uint32(nil), seq...), graphs})
+		})
+		slices.SortFunc(ents, func(a, b ent) int { return slices.Compare(a.seq, b.seq) })
+		for _, e := range ents {
+			for _, s := range e.seq {
+				sw.uvarint(uint64(s))
+			}
+			sw.uvarint(uint64(len(e.graphs)))
+			sw.ids(e.graphs)
+		}
+		return len(ents)
+	case VPTreeIndex:
+		order := make([]int, len(c.vpSeq))
+		for i := range order {
+			order[i] = i
+		}
+		slices.SortFunc(order, func(a, b int) int {
+			if d := slices.Compare(c.vpSeq[a], c.vpSeq[b]); d != 0 {
+				return d
+			}
+			return int(c.vpIDs[a]) - int(c.vpIDs[b])
+		})
+		for _, i := range order {
+			for _, s := range c.vpSeq[i] {
+				sw.uvarint(uint64(s))
+			}
+			sw.uvarint(uint64(uint32(c.vpIDs[i])))
+		}
+		return len(order)
+	case RTreeIndex:
+		var ents []rtree.Entry
+		c.rt.SearchRect(boundAll(c.rt.Dim()), func(e rtree.Entry) bool {
+			ents = append(ents, e)
+			return true
+		})
+		slices.SortFunc(ents, func(a, b rtree.Entry) int {
+			if d := slices.CompareFunc(a.Point, b.Point, func(x, y float64) int {
+				if x < y {
+					return -1
+				}
+				if x > y {
+					return 1
+				}
+				return 0
+			}); d != 0 {
+				return d
+			}
+			return int(a.Data) - int(b.Data)
+		})
+		for _, e := range ents {
+			for _, w := range e.Point {
+				sw.f64(w)
+			}
+			sw.uvarint(uint64(uint32(e.Data)))
+		}
+		return len(ents)
+	}
+	return 0
+}
+
+// encodeFPPayload writes the fingerprint section payload (shared with
+// the v2 stream encoding).
+func encodeFPPayload(sw *binio.SectionWriter, words int, fps []GraphFP) {
+	sw.U32(fpMagic)
+	sw.Uvarint(uint64(words))
+	sw.Uvarint(uint64(len(fps)))
+	for i := range fps {
+		fp := &fps[i]
+		sw.Uvarint(uint64(fp.NV))
+		sw.Uvarint(uint64(fp.NE))
+		for _, c := range fp.DegTail {
+			sw.Uvarint(uint64(c))
+		}
+		for _, c := range fp.ELab {
+			sw.Uvarint(uint64(c))
+		}
+		for _, c := range fp.VLab {
+			sw.Uvarint(uint64(c))
+		}
+		for _, w := range fp.Sig {
+			sw.U64(w)
+		}
+	}
+}
+
+// writeV3File assembles the final file: magic, header, directory,
+// optional fingerprint section, padding, slab. hdr.slabOff is computed
+// here; hdr.slabLen must be set by the caller.
+func writeV3File(path string, hdr v3Header, dir []v3DirClass, writeFPs func(*binio.SectionWriter), slab io.Reader) error {
+	encodeHeader := func(h v3Header) []byte {
+		var buf bytes.Buffer
+		sw := binio.NewSectionWriter(&buf)
+		sw.Begin()
+		sw.U8(byte(h.kind))
+		vb := byte(0)
+		if h.vertexBlind {
+			vb = 1
+		}
+		sw.U8(vb)
+		sw.Uvarint(uint64(h.maxEdges))
+		sw.Uvarint(uint64(h.dbSize))
+		sw.U64(h.fingerprint)
+		sw.Uvarint(uint64(h.nClasses))
+		sw.Uvarint(uint64(h.sigWords))
+		fb := byte(0)
+		if h.hasFPs {
+			fb = 1
+		}
+		sw.U8(fb)
+		sw.U64(h.slabOff)
+		sw.U64(h.slabLen)
+		if err := sw.Flush(); err != nil {
+			panic(err) // bytes.Buffer never errors
+		}
+		return buf.Bytes()
+	}
+
+	var dirBuf bytes.Buffer
+	dsw := binio.NewSectionWriter(&dirBuf)
+	dsw.Begin()
+	for _, dc := range dir {
+		dsw.Uvarint(uint64(len(dc.code)))
+		for _, t := range dc.code {
+			dsw.Varint(int64(t.I))
+			dsw.Varint(int64(t.J))
+			dsw.Uvarint(uint64(t.LI))
+			dsw.Uvarint(uint64(t.LE))
+			dsw.Uvarint(uint64(t.LJ))
+		}
+		dsw.Uvarint(uint64(dc.vOff))
+		dsw.Uvarint(uint64(dc.fragments))
+		dsw.Uvarint(uint64(dc.postCount))
+		dsw.U64(dc.postOff)
+		dsw.U64(dc.postLen)
+		dsw.U32(dc.postCRC)
+		dsw.Uvarint(uint64(dc.entCount))
+		dsw.U64(dc.entOff)
+		dsw.U64(dc.entLen)
+		dsw.U32(dc.entCRC)
+		dsw.Uvarint(uint64(dc.stats.Sequences))
+		dsw.Uvarint(uint64(dc.stats.Pairs))
+		for _, h := range dc.stats.Hist {
+			dsw.Uvarint(uint64(h))
+		}
+	}
+	if err := dsw.Flush(); err != nil {
+		return err
+	}
+
+	var fpBuf bytes.Buffer
+	if writeFPs != nil {
+		fsw := binio.NewSectionWriter(&fpBuf)
+		fsw.Begin()
+		writeFPs(fsw)
+		if err := fsw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	// The header's length does not depend on slabOff (fixed-width u64),
+	// so one dry encode fixes the layout and a second fills it in.
+	probe := encodeHeader(hdr)
+	preSlab := len(persistMagicV3) + len(probe) + dirBuf.Len() + fpBuf.Len()
+	hdr.slabOff = (uint64(preSlab) + v3SlabAlign - 1) / v3SlabAlign * v3SlabAlign
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	write := func(b []byte) {
+		if err == nil {
+			_, err = f.Write(b)
+		}
+	}
+	write([]byte(persistMagicV3))
+	write(encodeHeader(hdr))
+	write(dirBuf.Bytes())
+	write(fpBuf.Bytes())
+	write(make([]byte, int(hdr.slabOff)-preSlab))
+	if err == nil {
+		_, err = io.Copy(f, slab)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync() // best effort: make the rename durable
+		d.Close()
+	}
+	return nil
+}
+
+func copyFileBytes(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// parseV3Meta decodes the header, directory, and fingerprint sections of
+// a v3 byte image, without touching the slab. Errors name the section.
+func parseV3Meta(data []byte, metric distance.Metric) (v3Header, []v3DirClass, []GraphFP, error) {
+	var hdr v3Header
+	if len(data) < len(persistMagicV3) || string(data[:len(persistMagicV3)]) != string(persistMagicV3) {
+		return hdr, nil, nil, fmt.Errorf("index: not a PISIDX3 image")
+	}
+	sr := binio.NewSectionReader(bytes.NewReader(data[len(persistMagicV3):]))
+	if err := sr.Next(); err != nil {
+		return hdr, nil, nil, fmt.Errorf("index: mapped header: %w", err)
+	}
+	hdr.kind = Kind(sr.U8())
+	hdr.vertexBlind = sr.U8() != 0
+	hdr.maxEdges = int(sr.Uvarint())
+	hdr.dbSize = int(sr.Uvarint())
+	hdr.fingerprint = sr.U64()
+	hdr.nClasses = int(sr.Uvarint())
+	hdr.sigWords = int(sr.Uvarint())
+	hdr.hasFPs = sr.U8() != 0
+	hdr.slabOff = sr.U64()
+	hdr.slabLen = sr.U64()
+	if err := sr.Err(); err != nil {
+		return hdr, nil, nil, fmt.Errorf("index: mapped header: %w", err)
+	}
+	if hdr.vertexBlind != distance.IgnoresVertices(metric) {
+		return hdr, nil, nil, fmt.Errorf("index: metric vertex-blindness disagrees with the saved index")
+	}
+	switch hdr.kind {
+	case TrieIndex, VPTreeIndex, RTreeIndex:
+	default:
+		return hdr, nil, nil, fmt.Errorf("index: mapped header: unknown kind %d", int(hdr.kind))
+	}
+
+	if err := sr.Next(); err != nil {
+		if err == io.EOF {
+			return hdr, nil, nil, fmt.Errorf("index: mapped directory: missing (file truncated at the section boundary)")
+		}
+		return hdr, nil, nil, fmt.Errorf("index: mapped directory: %w", err)
+	}
+	dir := make([]v3DirClass, 0, hdr.nClasses)
+	for ci := 0; ci < hdr.nClasses; ci++ {
+		var dc v3DirClass
+		codeLen := sr.Count(2, "code")
+		dc.code = make(canon.Code, codeLen)
+		for i := range dc.code {
+			dc.code[i] = canon.Tuple{
+				I:  int32(sr.Varint()),
+				J:  int32(sr.Varint()),
+				LI: graph.VLabel(sr.Uvarint()),
+				LE: graph.ELabel(sr.Uvarint()),
+				LJ: graph.VLabel(sr.Uvarint()),
+			}
+		}
+		dc.vOff = int(sr.Uvarint())
+		dc.fragments = int(sr.Uvarint())
+		dc.postCount = int(sr.Uvarint())
+		dc.postOff = sr.U64()
+		dc.postLen = sr.U64()
+		dc.postCRC = sr.U32()
+		dc.entCount = int(sr.Uvarint())
+		dc.entOff = sr.U64()
+		dc.entLen = sr.U64()
+		dc.entCRC = sr.U32()
+		dc.stats.Sequences = int32(sr.Uvarint())
+		dc.stats.Pairs = int32(sr.Uvarint())
+		for i := range dc.stats.Hist {
+			dc.stats.Hist[i] = int32(sr.Uvarint())
+		}
+		dc.stats.Postings = int32(dc.postCount)
+		if err := sr.Err(); err != nil {
+			return hdr, nil, nil, fmt.Errorf("index: mapped directory: class %d/%d: %w", ci, hdr.nClasses, err)
+		}
+		dir = append(dir, dc)
+	}
+
+	var fps []GraphFP
+	if hdr.hasFPs {
+		x := &Index{dbSize: hdr.dbSize} // loadFingerprints target shim
+		if err := loadFingerprints(sr, x); err != nil {
+			return hdr, nil, nil, fmt.Errorf("index: mapped fingerprint section: %w", err)
+		}
+		if x.opts.SignatureWords != hdr.sigWords {
+			return hdr, nil, nil, fmt.Errorf("index: mapped fingerprint section: signature width %d disagrees with header %d", x.opts.SignatureWords, hdr.sigWords)
+		}
+		fps = x.fps
+	}
+	return hdr, dir, fps, nil
+}
+
+// scaffoldV3 builds the Class scaffolding (codes, perms, stats) shared by
+// the mapped and heap v3 loaders. Per-class storage stays empty.
+func scaffoldV3(hdr v3Header, dir []v3DirClass, fps []GraphFP, metric distance.Metric) (*Index, error) {
+	p := &persistIndex{
+		Magic:            persistMagicV3,
+		Kind:             int(hdr.kind),
+		MaxFragmentEdges: hdr.maxEdges,
+		DBSize:           hdr.dbSize,
+		VertexBlind:      hdr.vertexBlind,
+		Fingerprint:      hdr.fingerprint,
+	}
+	for _, dc := range dir {
+		p.Classes = append(p.Classes, persistClass{
+			Key:       dc.code.Key(),
+			Code:      dc.code,
+			VOff:      dc.vOff,
+			Fragments: dc.fragments,
+		})
+	}
+	x, err := fromDTO(p, metric)
+	if err != nil {
+		return nil, err
+	}
+	x.opts.SignatureWords = hdr.sigWords
+	for i, c := range x.list {
+		c.stats = dir[i].stats
+	}
+	x.fps = fps
+	return x, nil
+}
+
+// OpenMapped opens a v3 index file through a memory mapping: the
+// directory (class keys, offsets, stats, fingerprints) loads into heap,
+// posting and entry blocks stay on disk and are decoded from the mapping
+// at query time. Every block CRC is verified here, so corruption fails
+// at open with the damaged section named instead of surfacing as wrong
+// answers later. The caller owns the returned index's Close.
+func OpenMapped(path string, metric distance.Metric) (*Index, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("index: Metric is required")
+	}
+	m, err := mmapio.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: mapping %s: %w", path, err)
+	}
+	x, err := openV3(m.Data(), metric, m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	x.mappedPath = path
+	return x, nil
+}
+
+// openV3 builds a mapped index over a v3 byte image. mapping may be nil
+// (tests feed raw bytes); the index takes ownership when it is not.
+func openV3(data []byte, metric distance.Metric, mapping *mmapio.Mapping) (*Index, error) {
+	hdr, dir, fps, err := parseV3Meta(data, metric)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.slabOff+hdr.slabLen < hdr.slabOff || hdr.slabOff+hdr.slabLen > uint64(len(data)) {
+		return nil, fmt.Errorf("index: mapped slab: truncated (file %d bytes, slab needs %d)", len(data), hdr.slabOff+hdr.slabLen)
+	}
+	slab := data[hdr.slabOff : hdr.slabOff+hdr.slabLen]
+	x, err := scaffoldV3(hdr, dir, fps, metric)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range x.list {
+		dc := dir[i]
+		block := func(what string, off, length uint64, crc uint32) ([]byte, error) {
+			if off+length < off || off+length > uint64(len(slab)) {
+				return nil, fmt.Errorf("index: mapped slab: class %d %s block: truncated (slab %d bytes, block needs %d)", i, what, len(slab), off+length)
+			}
+			b := slab[off : off+length]
+			if got := crc32.ChecksumIEEE(b); got != crc {
+				return nil, fmt.Errorf("index: mapped slab: class %d %s block: checksum mismatch (stored %08x, computed %08x)", i, what, crc, got)
+			}
+			return b, nil
+		}
+		if c.entBlock, err = block("entry", dc.entOff, dc.entLen, dc.entCRC); err != nil {
+			return nil, err
+		}
+		if c.postBlock, err = block("posting", dc.postOff, dc.postLen, dc.postCRC); err != nil {
+			return nil, err
+		}
+		c.mapped = true
+		c.postCount = dc.postCount
+		c.entCount = dc.entCount
+		// The scaffolding's empty heap structures must never serve a
+		// mapped class; nil them so a missed mapped branch fails loudly.
+		c.trie = nil
+		c.vp = nil
+		c.vpSeq, c.vpIDs = nil, nil
+		c.rt = nil
+	}
+	x.mapping = mapping
+	return x, nil
+}
+
+// loadV3Heap decodes a full v3 image into an ordinary heap index —
+// identical in behavior to an index loaded from a v2 stream. This is the
+// Load path for v3 streams, and the mapped/heap differential's oracle.
+func loadV3Heap(data []byte, metric distance.Metric) (*Index, error) {
+	hdr, dir, fps, err := parseV3Meta(data, metric)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.slabOff+hdr.slabLen < hdr.slabOff || hdr.slabOff+hdr.slabLen > uint64(len(data)) {
+		return nil, fmt.Errorf("index: mapped slab: truncated (file %d bytes, slab needs %d)", len(data), hdr.slabOff+hdr.slabLen)
+	}
+	slab := data[hdr.slabOff : hdr.slabOff+hdr.slabLen]
+	p := &persistIndex{
+		Magic:            persistMagicV3,
+		Kind:             int(hdr.kind),
+		MaxFragmentEdges: hdr.maxEdges,
+		DBSize:           hdr.dbSize,
+		VertexBlind:      hdr.vertexBlind,
+		Fingerprint:      hdr.fingerprint,
+	}
+	for ci, dc := range dir {
+		pc := persistClass{
+			Key:       dc.code.Key(),
+			Code:      dc.code,
+			VOff:      dc.vOff,
+			Fragments: dc.fragments,
+		}
+		seqLen := dc.vOff + len(dc.code)
+		check := func(what string, off, length uint64, crc uint32) ([]byte, error) {
+			if off+length < off || off+length > uint64(len(slab)) {
+				return nil, fmt.Errorf("index: mapped slab: class %d %s block: truncated (slab %d bytes, block needs %d)", ci, what, len(slab), off+length)
+			}
+			b := slab[off : off+length]
+			if got := crc32.ChecksumIEEE(b); got != crc {
+				return nil, fmt.Errorf("index: mapped slab: class %d %s block: checksum mismatch (stored %08x, computed %08x)", ci, what, crc, got)
+			}
+			return b, nil
+		}
+		pb, err := check("posting", dc.postOff, dc.postLen, dc.postCRC)
+		if err != nil {
+			return nil, err
+		}
+		cur := blockCursor{b: pb}
+		pc.Postings = cur.idList(nil, dc.postCount)
+		if cur.bad {
+			return nil, fmt.Errorf("index: mapped slab: class %d posting block: malformed varint stream", ci)
+		}
+		eb, err := check("entry", dc.entOff, dc.entLen, dc.entCRC)
+		if err != nil {
+			return nil, err
+		}
+		cur = blockCursor{b: eb}
+		for e := 0; e < dc.entCount; e++ {
+			var pe persistEntry
+			switch hdr.kind {
+			case TrieIndex:
+				pe.Seq = cur.symbols(make([]uint32, seqLen))
+				pe.Graphs = cur.idList(nil, int(cur.uvarint()))
+			case VPTreeIndex:
+				pe.Seq = cur.symbols(make([]uint32, seqLen))
+				pe.Graphs = []int32{int32(cur.uvarint())}
+			case RTreeIndex:
+				pe.Point = cur.floats(make([]float64, seqLen))
+				pe.Graphs = []int32{int32(cur.uvarint())}
+			}
+			pc.Entries = append(pc.Entries, pe)
+		}
+		if cur.bad {
+			return nil, fmt.Errorf("index: mapped slab: class %d entry block: malformed stream", ci)
+		}
+		p.Classes = append(p.Classes, pc)
+	}
+	x, err := fromDTO(p, metric)
+	if err != nil {
+		return nil, err
+	}
+	x.opts.SignatureWords = hdr.sigWords
+	for i, c := range x.list {
+		c.stats = dir[i].stats
+	}
+	x.fps = fps
+	return x, nil
+}
+
+// blockCursor decodes one slab block. A malformed stream (impossible on
+// CRC-verified data unless the writer is buggy) sets bad and makes every
+// further read a zero-value no-op, so query paths stay panic-free.
+type blockCursor struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (c *blockCursor) uvarint() uint64 {
+	if c.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.pos:])
+	if n <= 0 {
+		c.bad = true
+		return 0
+	}
+	c.pos += n
+	return v
+}
+
+func (c *blockCursor) symbols(dst []uint32) []uint32 {
+	for i := range dst {
+		dst[i] = uint32(c.uvarint())
+	}
+	return dst
+}
+
+func (c *blockCursor) floats(dst []float64) []float64 {
+	for i := range dst {
+		if c.bad || c.pos+8 > len(c.b) {
+			c.bad = true
+			return dst
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.pos:]))
+		c.pos += 8
+	}
+	return dst
+}
+
+// idList appends n delta-decoded ids to dst.
+func (c *blockCursor) idList(dst []int32, n int) []int32 {
+	id := int32(0)
+	for i := 0; i < n; i++ {
+		d := int32(c.uvarint())
+		if c.bad {
+			return dst
+		}
+		if i == 0 {
+			id = d
+		} else {
+			id += d
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+func (c *blockCursor) done() bool { return c.bad || c.pos >= len(c.b) }
+
+// IsMapped reports whether the index serves its slab through a mapping.
+func (x *Index) IsMapped() bool { return x.mapping != nil }
+
+// MappedPath returns the backing file of a mapped index ("" when not
+// mapped).
+func (x *Index) MappedPath() string { return x.mappedPath }
+
+// Close releases the mapping of a mapped index; a heap index is a no-op.
+// No query may be in flight or issued afterwards.
+func (x *Index) Close() error {
+	if x == nil || x.mapping == nil {
+		return nil
+	}
+	err := x.mapping.Close()
+	x.mapping = nil
+	return err
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// openFile reads the file into an anonymous heap slice — the portable
+// fallback for platforms without the syscall mmap path. Callers see the
+// same read-only []byte contract either way.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+func (m *Mapping) release() error { return nil }

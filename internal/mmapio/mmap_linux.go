@@ -1,0 +1,28 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// openFile maps size bytes of f with a shared read-only mapping. The file
+// descriptor can be closed immediately after (the mapping keeps the inode
+// alive), and unlinking the file while mapped is safe: pages stay valid
+// until munmap, which is what lets a compaction swap in a new index file
+// and delete the old one while snapshot queries still read it.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func (m *Mapping) release() error {
+	if !m.mapped {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

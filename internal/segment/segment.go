@@ -74,6 +74,15 @@ type Config struct {
 	// len(delta) > CompactFraction * len(base). <= 0 disables the trigger;
 	// Compact can still be called explicitly.
 	CompactFraction float64
+	// MappedIndex serves the base index memory-mapped from its v3 on-disk
+	// image instead of heap-resident: builds and compactions write the
+	// index in the mapped layout and reopen it through index.OpenMapped, a
+	// durable segment's snapshots keep the index in a side file the next
+	// OpenDurable maps directly, and only the class directory lives on the
+	// heap — posting and entry slabs stay in the page cache. Answers are
+	// identical either way. With MappedIndex set, Close also unmaps the
+	// index, so the segment must not serve queries after Close.
+	MappedIndex bool
 	// FS routes the backing store's disk operations; nil means the real
 	// filesystem. Fault-injection tests swap in internal/faultfs here.
 	FS store.FS
@@ -122,6 +131,11 @@ type Segment struct {
 	insMu sync.Mutex
 	// st is the durable backing store; nil for an in-memory segment.
 	st *store.Store
+	// retired holds mapped indexes replaced by compaction. In-flight
+	// queries run lock-free against the snapshot they took, so an old
+	// mapping cannot be unmapped at swap time; it is parked here and
+	// closed at Close, when no query can still reference it.
+	retired []*index.Index
 }
 
 // New mines features over graphs and builds an indexed segment whose
@@ -134,7 +148,7 @@ func New(graphs []*graph.Graph, startID int32, cfg Config) (*Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromIndex(base, sequentialIDs(startID, len(graphs)), idx, cfg), nil
+	return fromIndex(base, sequentialIDs(startID, len(graphs)), idx, cfg)
 }
 
 // FromIndex wraps a pre-built index (for example one loaded from disk)
@@ -154,7 +168,7 @@ func FromIndex(graphs []*graph.Graph, startID int32, idx *index.Index, cfg Confi
 		return nil, fmt.Errorf("segment: index was built over a different graph set (index fingerprint %016x, graphs hash to %016x); rebuild or load the matching database", have, fp)
 	}
 	idx.AdoptFingerprint(fp)
-	return fromIndex(graphs, sequentialIDs(startID, len(graphs)), idx, cfg), nil
+	return fromIndex(graphs, sequentialIDs(startID, len(graphs)), idx, cfg)
 }
 
 // NewDurable builds an indexed segment over graphs exactly like New and
@@ -217,7 +231,7 @@ func (s *Segment) AbandonStore() {
 // acknowledged pre-crash state. A torn WAL tail is dropped and reported
 // in StoreStats().Recovery.
 func OpenDurable(dir string, cfg Config) (*Segment, error) {
-	st, snap, recs, err := store.OpenFS(dir, cfg.Index.Metric, cfg.FS)
+	st, snap, recs, err := store.OpenWith(dir, cfg.Index.Metric, store.OpenOptions{FS: cfg.FS, MappedIndex: cfg.MappedIndex})
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +243,11 @@ func OpenDurable(dir string, cfg Config) (*Segment, error) {
 		st.Close()
 		return nil, fmt.Errorf("segment: snapshot index fingerprint %016x does not match its graphs (%016x)", snap.Index.Fingerprint(), fp)
 	}
-	s := fromIndex(snap.Base, snap.BaseIDs, snap.Index, cfg)
+	s, err := fromIndex(snap.Base, snap.BaseIDs, snap.Index, cfg)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
 	s.delta = snap.Delta
 	s.deltaIDs = snap.DeltaIDs
 	for _, g := range snap.Delta {
@@ -291,7 +309,40 @@ func build(graphs []*graph.Graph, cfg Config) ([]*graph.Graph, *index.Index, err
 	return graphs, idx, nil
 }
 
-func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) *Segment {
+// mapIndex rewrites a heap-built index in the v3 mapped layout and
+// reopens it memory-mapped. The image goes to an unlinked temp file: the
+// mapping pins the inode, so the file needs no lifecycle of its own —
+// closing the mapping frees the disk space. Durable segments re-persist
+// the image into a store-owned side file at the next snapshot.
+func mapIndex(idx *index.Index, cfg Config) (*index.Index, error) {
+	if idx.IsMapped() {
+		return idx, nil
+	}
+	f, err := os.CreateTemp("", "pis-idx-*.pisidx3")
+	if err != nil {
+		return nil, fmt.Errorf("segment: mapping index: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := idx.WriteMapped(path); err != nil {
+		return nil, fmt.Errorf("segment: mapping index: %w", err)
+	}
+	mx, err := index.OpenMapped(path, cfg.Index.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("segment: mapping index: %w", err)
+	}
+	return mx, nil
+}
+
+func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) (*Segment, error) {
+	if cfg.MappedIndex {
+		mx, err := mapIndex(idx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		idx = mx
+	}
 	// Streams persisted before fingerprints existed load without them;
 	// recompute here so the prescreen tier is never silently absent.
 	idx.EnsureFingerprints(base)
@@ -309,7 +360,7 @@ func fromIndex(base []*graph.Graph, ids []int32, idx *index.Index, cfg Config) *
 		maxID: maxID,
 	}
 	s.nlive.Store(int32(len(base)))
-	return s
+	return s, nil
 }
 
 // snapshot is one consistent read view: taken under RLock, used lock-free.
@@ -563,9 +614,22 @@ func (s *Segment) MaxID() int32 {
 	return s.maxID
 }
 
-// Close releases the backing store (no-op for in-memory segments). The
-// segment keeps answering queries; further mutations fail.
+// Close releases the backing store (no-op for in-memory segments) and,
+// for a MappedIndex segment, unmaps the live and retired index mappings.
+// Without MappedIndex the segment keeps answering queries after Close;
+// with it, queries must stop first. Further mutations fail either way.
 func (s *Segment) Close() error {
+	s.mu.Lock()
+	retired := s.retired
+	s.retired = nil
+	idx := s.idx
+	s.mu.Unlock()
+	for _, r := range retired {
+		r.Close()
+	}
+	if idx != nil && idx.IsMapped() {
+		idx.Close()
+	}
 	if s.st == nil {
 		return nil
 	}
@@ -623,6 +687,14 @@ func (s *Segment) compactLocked() error {
 	base, idx, err := build(survivors, s.cfg)
 	if err != nil {
 		return fmt.Errorf("segment: compacting %d graphs: %w", len(survivors), err)
+	}
+	if s.cfg.MappedIndex {
+		if idx, err = mapIndex(idx, s.cfg); err != nil {
+			return fmt.Errorf("segment: compacting %d graphs: %w", len(survivors), err)
+		}
+		// The outgoing mapping may still back queries that snapshotted
+		// before this compaction; park it for Close instead of unmapping.
+		s.retired = append(s.retired, s.idx)
 	}
 	s.base, s.ids, s.idx = base, ids, idx
 	s.srch = core.NewSearcher(base, idx, s.cfg.Core)

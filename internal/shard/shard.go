@@ -68,6 +68,9 @@ type Config struct {
 	// FS routes every shard store's disk operations; nil means the real
 	// filesystem (fault-injection tests swap in internal/faultfs).
 	FS store.FS
+	// MappedIndex serves every shard's base index memory-mapped from its
+	// v3 on-disk image; see segment.Config.MappedIndex.
+	MappedIndex bool
 }
 
 // segmentConfig translates the shard config for one of nShards segments:
@@ -84,6 +87,7 @@ func (cfg Config) segmentConfig(nShards int) segment.Config {
 		IndexWorkers:    cfg.IndexWorkers,
 		CompactFraction: cfg.CompactFraction,
 		FS:              cfg.FS,
+		MappedIndex:     cfg.MappedIndex,
 	}
 }
 

@@ -173,6 +173,24 @@ func Open(dir string, metric distance.Metric) (*Store, *Snapshot, []Record, erro
 // the WAL is then reopened for appends, so the store is immediately
 // writable. The metric must match the one the index was built with.
 func OpenFS(dir string, metric distance.Metric, fs FS) (*Store, *Snapshot, []Record, error) {
+	return OpenWith(dir, metric, OpenOptions{FS: fs})
+}
+
+// OpenOptions tunes OpenWith beyond the defaults OpenFS uses.
+type OpenOptions struct {
+	// FS routes disk operations; nil means the real filesystem.
+	FS FS
+	// MappedIndex memory-maps the snapshot's index side file instead of
+	// decoding it onto the heap, when the snapshot has one (snapshots of a
+	// mapped index are written with the index in its own idx-*.pisidx3
+	// file). It requires the real filesystem; with an injected FS the side
+	// file is read through the FS and decoded onto the heap as usual.
+	MappedIndex bool
+}
+
+// OpenWith is OpenFS with options; see OpenOptions.
+func OpenWith(dir string, metric distance.Metric, o OpenOptions) (*Store, *Snapshot, []Record, error) {
+	fs := o.FS
 	if fs == nil {
 		fs = OSFS
 	}
@@ -180,7 +198,7 @@ func OpenFS(dir string, metric distance.Metric, fs FS) (*Store, *Snapshot, []Rec
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	snap, seq, err := loadSnapshot(fs, filepath.Join(dir, snapName), metric)
+	snap, seq, err := loadSnapshot(fs, filepath.Join(dir, snapName), metric, o.MappedIndex && fs == OSFS)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: snapshot %s: %w", snapName, err)
 	}
@@ -357,10 +375,22 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	seq := s.seq + 1
 	snapName := fmt.Sprintf("snap-%06d.pissnap", seq)
 	walName := fmt.Sprintf("wal-%06d", seq)
+	// A mapped index is already a complete on-disk image; keeping it in its
+	// own side file (referenced by name from the snapshot header) lets a
+	// later OpenWith memory-map it instead of decoding it onto the heap.
+	// The side file is written before the snapshot that names it, so the
+	// manifest swing below never exposes a snapshot whose index is missing.
+	idxFile := ""
+	if snap.Index != nil && snap.Index.IsMapped() {
+		idxFile = idxFileName(seq)
+		if err := writeFileAtomic(s.fsOrOS(), s.dir, idxFile, snap.Index.Save); err != nil {
+			return s.poisonLocked("writing index file", err)
+		}
+	}
 	var snapBytes int64
 	if err := writeFileAtomic(s.fsOrOS(), s.dir, snapName, func(w io.Writer) error {
 		cw := &countingWriter{w: w}
-		err := writeSnapshot(cw, snap, seq)
+		err := writeSnapshot(cw, snap, seq, idxFile)
 		snapBytes = cw.n
 		return err
 	}); err != nil {
@@ -398,9 +428,15 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	if oldSeq > 0 {
 		s.fsOrOS().Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%06d.pissnap", oldSeq)))
 		s.fsOrOS().Remove(filepath.Join(s.dir, fmt.Sprintf("wal-%06d", oldSeq)))
+		// A live mapping of the old index side file survives the unlink
+		// (the mapping pins the inode); the next open uses the new file.
+		s.fsOrOS().Remove(filepath.Join(s.dir, idxFileName(oldSeq)))
 	}
 	return nil
 }
+
+// idxFileName names snapshot seq's index side file.
+func idxFileName(seq uint64) string { return fmt.Sprintf("idx-%06d.pisidx3", seq) }
 
 // fsOrOS guards against zero-value Stores constructed in tests.
 func (s *Store) fsOrOS() FS {
@@ -448,7 +484,10 @@ const snapChunk = 64 << 20
 // by base graphs / index / tombstones / delta graphs, each spread over
 // one or more CRC-checksummed sections (the header carries the counts
 // and the index byte length, so the reader knows where each run ends).
-func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
+// A non-empty idxFile names the index side file written next to the
+// snapshot; the index is then not embedded (its length field is zero and
+// its chunk run is absent).
+func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64, idxFile string) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
@@ -456,8 +495,10 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
 	sw := binio.NewSectionWriter(bw)
 
 	var idx bytes.Buffer
-	if err := snap.Index.Save(&idx); err != nil {
-		return err
+	if idxFile == "" {
+		if err := snap.Index.Save(&idx); err != nil {
+			return err
+		}
 	}
 
 	sw.Begin()
@@ -467,6 +508,11 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
 	sw.Uvarint(uint64(len(snap.Tombs)))
 	sw.Uvarint(uint64(len(snap.Delta)))
 	sw.U64(uint64(idx.Len()))
+	// Trailing header field added after PISSNAP2 shipped: the index side
+	// file name. Old snapshots end the header at idxLen; the reader treats
+	// the absent field as "index embedded".
+	sw.Uvarint(uint64(len(idxFile)))
+	sw.Bytes([]byte(idxFile))
 	if err := sw.Flush(); err != nil {
 		return err
 	}
@@ -492,7 +538,7 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
 		return err
 	}
 
-	for b := idx.Bytes(); ; {
+	for b := idx.Bytes(); idxFile == ""; {
 		chunk := b
 		if len(chunk) > snapChunk {
 			chunk = b[:snapChunk]
@@ -520,8 +566,10 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64) error {
 	return bw.Flush()
 }
 
-// loadSnapshot reads and verifies one snapshot file.
-func loadSnapshot(fs FS, path string, metric distance.Metric) (*Snapshot, uint64, error) {
+// loadSnapshot reads and verifies one snapshot file. mapped asks for the
+// index side file (when the snapshot has one) to be memory-mapped rather
+// than heap-decoded; it must only be set when fs is the real filesystem.
+func loadSnapshot(fs FS, path string, metric distance.Metric, mapped bool) (*Snapshot, uint64, error) {
 	f, err := fs.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -542,8 +590,15 @@ func loadSnapshot(fs FS, path string, metric distance.Metric) (*Snapshot, uint64
 	nTombs := int(sr.Uvarint())
 	nDelta := int(sr.Uvarint())
 	idxLen := sr.U64()
+	idxFile := ""
+	if sr.Remaining() > 0 { // absent in snapshots written before side files
+		idxFile = string(sr.Bytes(int(sr.Uvarint())))
+	}
 	if err := sr.Err(); err != nil {
 		return nil, 0, fmt.Errorf("header: %w", err)
+	}
+	if strings.ContainsAny(idxFile, "/\\") {
+		return nil, 0, fmt.Errorf("header: index file name %q escapes the store directory", idxFile)
 	}
 
 	readGraphs := func(n int, what string) ([]*graph.Graph, []int32, error) {
@@ -576,27 +631,44 @@ func loadSnapshot(fs FS, path string, metric distance.Metric) (*Snapshot, uint64
 		return nil, 0, err
 	}
 
-	// idxLen comes from the checksummed header, so trust it for the loop
-	// bound — but grow the buffer from one chunk instead of preallocating
-	// the full length, so even an (astronomically unlikely) corrupt value
-	// that survived the CRC fails at a torn-section error, not an
-	// allocation bomb.
-	idxCap := idxLen
-	if idxCap > snapChunk {
-		idxCap = snapChunk
-	}
-	idxBytes := make([]byte, 0, idxCap)
-	for uint64(len(idxBytes)) < idxLen {
-		if err := sr.Next(); err != nil {
-			return nil, 0, fmt.Errorf("index chunk at byte %d: %w", len(idxBytes), err)
+	if idxFile != "" {
+		ip := filepath.Join(filepath.Dir(path), idxFile)
+		if mapped {
+			if snap.Index, err = index.OpenMapped(ip, metric); err != nil {
+				return nil, 0, fmt.Errorf("index file %s: %w", idxFile, err)
+			}
+		} else {
+			data, rerr := fs.ReadFile(ip)
+			if rerr != nil {
+				return nil, 0, fmt.Errorf("index file %s: %w", idxFile, rerr)
+			}
+			if snap.Index, err = index.Load(bytes.NewReader(data), metric); err != nil {
+				return nil, 0, fmt.Errorf("index file %s: %w", idxFile, err)
+			}
 		}
-		idxBytes = append(idxBytes, sr.Bytes(sr.Remaining())...)
-	}
-	if uint64(len(idxBytes)) != idxLen {
-		return nil, 0, fmt.Errorf("index: chunks hold %d bytes, header says %d", len(idxBytes), idxLen)
-	}
-	if snap.Index, err = index.Load(bytes.NewReader(idxBytes), metric); err != nil {
-		return nil, 0, fmt.Errorf("index: %w", err)
+	} else {
+		// idxLen comes from the checksummed header, so trust it for the loop
+		// bound — but grow the buffer from one chunk instead of preallocating
+		// the full length, so even an (astronomically unlikely) corrupt value
+		// that survived the CRC fails at a torn-section error, not an
+		// allocation bomb.
+		idxCap := idxLen
+		if idxCap > snapChunk {
+			idxCap = snapChunk
+		}
+		idxBytes := make([]byte, 0, idxCap)
+		for uint64(len(idxBytes)) < idxLen {
+			if err := sr.Next(); err != nil {
+				return nil, 0, fmt.Errorf("index chunk at byte %d: %w", len(idxBytes), err)
+			}
+			idxBytes = append(idxBytes, sr.Bytes(sr.Remaining())...)
+		}
+		if uint64(len(idxBytes)) != idxLen {
+			return nil, 0, fmt.Errorf("index: chunks hold %d bytes, header says %d", len(idxBytes), idxLen)
+		}
+		if snap.Index, err = index.Load(bytes.NewReader(idxBytes), metric); err != nil {
+			return nil, 0, fmt.Errorf("index: %w", err)
+		}
 	}
 
 	if err := sr.Next(); err != nil {

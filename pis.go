@@ -231,6 +231,17 @@ type Options struct {
 	// compaction (Compact can still be called explicitly).
 	CompactFraction float64
 
+	// MappedIndex serves the fragment index memory-mapped from its
+	// compressed on-disk image (the PISIDX3 layout) instead of
+	// heap-resident: builds and compactions write the index to disk and
+	// reopen it through mmap, durable snapshots keep it in a side file
+	// that Open maps directly, and only the per-class directory lives on
+	// the heap — the posting and entry slabs stay in the kernel page
+	// cache and are demand-paged, so the index can exceed RAM. Answers
+	// are byte-identical to the heap index. With MappedIndex set, Close
+	// unmaps the index, so queries must stop before Close.
+	MappedIndex bool
+
 	// BuildWorkers parallelizes index construction across goroutines
 	// (0 = GOMAXPROCS, 1 = serial). The index is identical either way.
 	BuildWorkers int
@@ -345,6 +356,7 @@ func (o Options) segmentConfig() segment.Config {
 		KNNCore:         o.coreOptions(),
 		IndexWorkers:    o.BuildWorkers,
 		CompactFraction: o.CompactFraction,
+		MappedIndex:     o.MappedIndex,
 	}
 }
 
@@ -789,6 +801,7 @@ func (o Options) shardConfig() shard.Config {
 		Core:            o.coreOptions(),
 		IndexWorkers:    o.BuildWorkers,
 		CompactFraction: o.CompactFraction,
+		MappedIndex:     o.MappedIndex,
 	}
 }
 
