@@ -50,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,6 +82,10 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this duration, e.g. 250ms (0 disables)")
 		qlogSize  = flag.Int("query-log", 0, "GET /debug/queries ring capacity (0 = default 256)")
 
+		clusterAddr  = flag.String("cluster-addr", "", "shard-RPC listen address for cluster mode, e.g. 10.0.0.1:7070; must appear verbatim in -cluster-peers")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated shard-RPC addresses of every cluster node (including this one); enables cluster mode")
+		replication  = flag.Int("replication", 1, "replicas per shard in cluster mode (clamped to the peer count)")
+
 		plannerOff       = flag.Bool("planner-off", false, "disable the cost-based query planner (exhaustive fragment expansion)")
 		plannerBudget    = flag.Float64("planner-budget", 0, "minimum candidate eliminations for a fragment range query to stay worth running (0 = default 1, negative = expand exhaustively)")
 		plannerCrossover = flag.Int("planner-crossover", 0, "skip remaining range queries once this few candidates survive (0 = default 16, -1 = never stop early)")
@@ -95,9 +100,19 @@ func main() {
 	if *plannerCrossover < -1 {
 		log.Fatalf("-planner-crossover %d is meaningless: use a positive candidate count, 0 for the default (16), or -1 to never stop early", *plannerCrossover)
 	}
+	clusterMode := *clusterPeers != ""
+	if clusterMode && *clusterAddr == "" {
+		log.Fatal("-cluster-peers requires -cluster-addr (this node's own shard-RPC address)")
+	}
+	if !clusterMode && *clusterAddr != "" {
+		log.Fatal("-cluster-addr requires -cluster-peers")
+	}
 	haveSource := *dbPath != "" || *genN != 0
 	canRecover := *dataDir != "" && pis.StoreExists(*dataDir)
-	if !haveSource && !canRecover {
+	// Cluster mode can also recover from its own per-shard stores or
+	// fetch replicas from peers; StartClusterNode reports cleanly when a
+	// shard truly has no source anywhere.
+	if !haveSource && !canRecover && !clusterMode {
 		log.Fatal("one of -db or -gen is required (or -data-dir must hold an existing store)")
 	}
 
@@ -109,6 +124,14 @@ func main() {
 		PlannerBudget:    *plannerBudget,
 		PlannerCrossover: *plannerCrossover,
 	}
+	if clusterMode {
+		runCluster(*clusterAddr, *clusterPeers, *shards, *replication, *dataDir, *dbPath, *genN, *seed, opts,
+			serveConfig{addr: *addr, cache: *cache, inflight: *inflight, maxQueue: *maxQueue,
+				quWait: *quWait, shutdown: *shutdown, slowQuery: *slowQuery, qlogSize: *qlogSize,
+				debugAddr: *debugAddr})
+		return
+	}
+
 	var db *pis.Sharded
 	var err error
 	switch {
@@ -149,15 +172,36 @@ func main() {
 	st := db.Stats()
 	log.Printf("index: %d shards, %d features, %d fragments", db.NumShards(), st.Features, st.Fragments)
 
+	serve(db, serveConfig{addr: *addr, cache: *cache, inflight: *inflight, maxQueue: *maxQueue,
+		quWait: *quWait, shutdown: *shutdown, slowQuery: *slowQuery, qlogSize: *qlogSize,
+		debugAddr: *debugAddr})
+}
+
+// serveConfig carries the HTTP-serving flags shared by single-process
+// and cluster mode.
+type serveConfig struct {
+	addr      string
+	cache     int
+	inflight  int
+	maxQueue  int
+	quWait    time.Duration
+	shutdown  time.Duration
+	slowQuery time.Duration
+	qlogSize  int
+	debugAddr string
+}
+
+// serve fronts the backend with the HTTP server until SIGINT/SIGTERM.
+func serve(backend server.Backend, sc serveConfig) {
 	srv, err := server.New(server.Config{
-		Backend:            db,
-		CacheSize:          *cache,
-		MaxInFlight:        *inflight,
-		MaxQueue:           *maxQueue,
-		QueueWait:          *quWait,
-		ShutdownTimeout:    *shutdown,
-		SlowQueryThreshold: *slowQuery,
-		QueryLogSize:       *qlogSize,
+		Backend:            backend,
+		CacheSize:          sc.cache,
+		MaxInFlight:        sc.inflight,
+		MaxQueue:           sc.maxQueue,
+		QueueWait:          sc.quWait,
+		ShutdownTimeout:    sc.shutdown,
+		SlowQueryThreshold: sc.slowQuery,
+		QueryLogSize:       sc.qlogSize,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -165,14 +209,63 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *debugAddr != "" {
-		go runDebugServer(ctx, *debugAddr)
+	if sc.debugAddr != "" {
+		go runDebugServer(ctx, sc.debugAddr)
 	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.Run(ctx, *addr); err != nil {
+	log.Printf("listening on %s", sc.addr)
+	if err := srv.Run(ctx, sc.addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// runCluster boots this process as one node of a replicated cluster:
+// a shard-RPC server for the shards the placement map assigns it, plus
+// a coordinator that routes this node's HTTP traffic to the whole
+// cluster. Every node must be started with the same -cluster-peers,
+// -shards, and -replication values (and the same -db/-gen source when
+// bootstrapping); each node needs its own -data-dir.
+func runCluster(self, peerList string, shards, replication int, dataDir, dbPath string, genN int, seed int64, opts pis.Options, sc serveConfig) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	var graphs []*pis.Graph
+	switch {
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		graphs, rerr = pis.ReadDatabase(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("reading database: %v", rerr)
+		}
+	case genN != 0:
+		graphs = gen.Molecules(genN, gen.Config{Seed: seed})
+	}
+	start := time.Now()
+	cn, err := pis.StartClusterNode(pis.ClusterOptions{
+		Self:        self,
+		Peers:       peers,
+		Shards:      shards,
+		Replication: replication,
+		DataDir:     dataDir,
+		Graphs:      graphs,
+		Options:     opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cn.Close()
+	ov := cn.Overview()
+	log.Printf("cluster node %s up in %v: %d peers (%d up), %d shards (%d covered), replication %d",
+		self, time.Since(start), ov.Peers, ov.PeersUp, ov.Shards, ov.CoveredShards, ov.Replication)
+	serve(cn, sc)
 }
 
 // runDebugServer serves the admin surface — Prometheus metrics plus the

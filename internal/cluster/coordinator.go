@@ -1,0 +1,607 @@
+// The coordinator: the client-side brain of the cluster. It owns the
+// placement map, fans queries out across shards through the same
+// FanOutSearch/FanOutKNN engine the single-process database uses (each
+// shard's Searcher is a remoteShard that picks replicas), and layers
+// two latency defenses over every shard query:
+//
+//   - failover: a replica that errors is retried on the next replica
+//     immediately, and marked unreachable so later queries skip it;
+//   - hedging: a replica that is merely slow gets a second copy of the
+//     query sent to another replica after a p95-derived delay — first
+//     answer wins, the loser is canceled by closing its connection.
+//
+// Verification is exact and replicas of a shard hold identical
+// contents, so whichever replica answers, the merged result is the
+// single-process result — the property the differential tests pin.
+//
+// Mutations are serialized under one lock and broadcast to every
+// (non-stale) replica of the target shard; a replica that misses one is
+// marked stale and excluded from reads until it restarts, catches up,
+// and proves its sequence numbers match (the readmission check runs
+// under the same mutation lock, so equality there means equality,
+// period). Losing every replica of a shard surfaces as ErrUnavailable,
+// which the HTTP layer maps to 503.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pis/internal/binio"
+	"pis/internal/core"
+	"pis/internal/graph"
+	"pis/internal/shard"
+)
+
+// ErrUnavailable reports that every replica of some shard is
+// unreachable or stale: the cluster cannot answer correctly, so it
+// refuses to answer at all (HTTP 503), never silently serving a subset.
+var ErrUnavailable = errors.New("cluster: no live replica for shard")
+
+// Config describes the cluster from one coordinator's point of view.
+type Config struct {
+	// Peers is every node's RPC address. Order does not matter; all
+	// coordinators derive the same placement from the same set.
+	Peers []string
+	// Shards is the global shard count.
+	Shards int
+	// Replication is the replica count per shard, clamped to len(Peers).
+	Replication int
+
+	// HedgeDefault is the hedge delay used until the search-RPC
+	// histogram has enough observations for a p95 (default 25ms).
+	HedgeDefault time.Duration
+	// HedgeMultiplier scales the observed p95 into the hedge delay
+	// (default 2.0).
+	HedgeMultiplier float64
+	// HedgeFloor and HedgeCap clamp the derived delay (defaults 2ms, 1s).
+	HedgeFloor, HedgeCap time.Duration
+	// PingInterval paces the health loop (default 1s; < 0 disables it,
+	// for tests that drive CheckPeers by hand).
+	PingInterval time.Duration
+	// StatsTimeout bounds health-loop and aggregation RPCs (default 2s).
+	StatsTimeout time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = len(cfg.Peers)
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.HedgeDefault <= 0 {
+		cfg.HedgeDefault = 25 * time.Millisecond
+	}
+	if cfg.HedgeMultiplier <= 0 {
+		cfg.HedgeMultiplier = 2.0
+	}
+	if cfg.HedgeFloor <= 0 {
+		cfg.HedgeFloor = 2 * time.Millisecond
+	}
+	if cfg.HedgeCap <= 0 {
+		cfg.HedgeCap = time.Second
+	}
+	if cfg.PingInterval == 0 {
+		cfg.PingInterval = time.Second
+	}
+	if cfg.StatsTimeout <= 0 {
+		cfg.StatsTimeout = 2 * time.Second
+	}
+	return cfg
+}
+
+// peerState is the coordinator's live opinion of one node.
+type peerState struct {
+	*peer
+	// up: the last contact (ping or RPC) succeeded. Cleared on transport
+	// failures; a down peer is tried last, not never.
+	up atomic.Bool
+	// stale: the peer missed an acknowledged mutation. A stale peer
+	// serves no reads and receives no writes until readmitted.
+	stale atomic.Bool
+	// epoch is the peer's last observed process incarnation; 0 = never
+	// contacted. staleAtEpoch remembers the incarnation that went stale —
+	// only a *new* incarnation (which ran catch-up at boot) can rejoin.
+	epoch        atomic.Int64
+	staleAtEpoch atomic.Int64
+}
+
+func (ps *peerState) readable() bool { return !ps.stale.Load() }
+
+// markStale excludes the peer until a restarted incarnation passes the
+// readmission check.
+func (ps *peerState) markStale() {
+	ps.staleAtEpoch.Store(ps.epoch.Load())
+	ps.stale.Store(true)
+	ps.up.Store(false)
+}
+
+// Coordinator routes queries and mutations to a cluster of nodes.
+type Coordinator struct {
+	cfg       Config
+	placement [][]string
+	peers     map[string]*peerState
+	peerAddrs []string // sorted-stable iteration order (= cfg.Peers order)
+	searchers []shard.Searcher
+
+	// mutMu serializes every mutation cluster-wide, pinning a single
+	// apply order so all replicas of a shard see the same stream — the
+	// invariant sequence-number catch-up depends on. Readmission also
+	// runs under it: sequence equality checked while mutations are frozen
+	// is real equality.
+	mutMu    sync.Mutex
+	nextID   atomic.Int32
+	insertRR atomic.Uint64
+
+	cachedLen atomic.Int64
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// Connect builds a coordinator over the peers and probes them once.
+// Unreachable peers are tolerated (they may still be booting — the
+// health loop admits them when they appear); Connect fails only if no
+// peer at all is reachable, since the id counter needs at least one
+// node's view of the database.
+func Connect(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		placement: Place(cfg.Shards, cfg.Peers, cfg.Replication),
+		peers:     make(map[string]*peerState, len(cfg.Peers)),
+		peerAddrs: cfg.Peers,
+		stop:      make(chan struct{}),
+	}
+	for _, addr := range cfg.Peers {
+		c.peers[addr] = &peerState{peer: newPeer(addr)}
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		reps := make([]*peerState, len(c.placement[s]))
+		for i, addr := range c.placement[s] {
+			reps[i] = c.peers[addr]
+		}
+		c.searchers = append(c.searchers, &remoteShard{co: c, idx: s, replicas: reps})
+	}
+	if err := c.initFromPeers(); err != nil {
+		return nil, err
+	}
+	if cfg.PingInterval > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// initFromPeers probes every peer and seeds the id counter from the
+// largest id any reachable node has ever assigned.
+func (c *Coordinator) initFromPeers() error {
+	maxID := int32(-1)
+	reachable := 0
+	var total int64
+	counted := make(map[int]bool)
+	for _, addr := range c.peerAddrs {
+		ps := c.peers[addr]
+		ns, err := c.nodeState(ps)
+		if err != nil {
+			ps.up.Store(false)
+			continue
+		}
+		reachable++
+		ps.up.Store(true)
+		ps.epoch.Store(ns.Epoch)
+		for _, st := range ns.Shards {
+			if st.MaxID > maxID {
+				maxID = st.MaxID
+			}
+			if !counted[st.Shard] {
+				counted[st.Shard] = true
+				total += int64(st.Live)
+			}
+		}
+	}
+	if reachable == 0 {
+		return fmt.Errorf("cluster: no peer reachable (tried %d)", len(c.peerAddrs))
+	}
+	c.nextID.Store(maxID + 1)
+	c.cachedLen.Store(total)
+	return nil
+}
+
+func (c *Coordinator) nodeState(ps *peerState) (nodeState, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
+	defer cancel()
+	var ns nodeState
+	err := ps.call(ctx, opStats, nil, func(sr *binio.SectionReader) error {
+		var derr error
+		ns, derr = readNodeState(sr)
+		return derr
+	})
+	return ns, err
+}
+
+// Close stops the health loop and drops pooled connections.
+func (c *Coordinator) Close() {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	c.wg.Wait()
+	for _, ps := range c.peers {
+		ps.closeIdle()
+	}
+}
+
+// SearchCtx fans the query out to every shard — each served by
+// whichever replica answers first — and merges exactly like the
+// single-process database.
+func (c *Coordinator) SearchCtx(ctx context.Context, q *graph.Graph, sigma float64) (core.Result, error) {
+	return shard.FanOutSearch(ctx, c.searchers, q, sigma)
+}
+
+// SearchKNNCtx runs the shrinking-radius kNN merge over remote shards.
+func (c *Coordinator) SearchKNNCtx(ctx context.Context, q *graph.Graph, k int, maxSigma float64) ([]core.Neighbor, error) {
+	return shard.FanOutKNN(ctx, c.searchers, q, k, maxSigma)
+}
+
+// Insert assigns the next global id, routes the graph to a shard
+// (round-robin), and broadcasts it to the shard's replicas. At least
+// one replica must acknowledge; replicas that fail are marked stale.
+func (c *Coordinator) Insert(ctx context.Context, g *graph.Graph) (int32, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	id := c.nextID.Load()
+	sh := int(c.insertRR.Add(1)-1) % len(c.searchers)
+	req := apUv(nil, uint64(sh))
+	req = apU32(req, uint32(id))
+	req = apGraph(req, g)
+	rs := c.searchers[sh].(*remoteShard)
+	acks := 0
+	var firstErr error
+	for _, ps := range rs.replicas {
+		if ps.stale.Load() {
+			continue
+		}
+		if err := ps.call(ctx, opInsert, req, nil); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			ps.markStale()
+			continue
+		}
+		acks++
+	}
+	if acks == 0 {
+		if firstErr == nil {
+			firstErr = ErrUnavailable
+		}
+		return 0, fmt.Errorf("cluster: insert to shard %d: %w", sh, firstErr)
+	}
+	c.nextID.Store(id + 1)
+	c.cachedLen.Add(1)
+	return id, nil
+}
+
+// Delete broadcasts the tombstone to every non-stale peer (the owning
+// shard's replicas apply it; everyone else reports not-found). Found on
+// any peer means found.
+func (c *Coordinator) Delete(ctx context.Context, id int32) (bool, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	req := apU32(nil, uint32(id))
+	found := false
+	reached := 0
+	var firstErr error
+	for _, addr := range c.peerAddrs {
+		ps := c.peers[addr]
+		if ps.stale.Load() {
+			continue
+		}
+		var f bool
+		err := ps.call(ctx, opDelete, req, func(sr *binio.SectionReader) error {
+			f = sr.U8() != 0
+			return sr.Err()
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			ps.markStale()
+			continue
+		}
+		reached++
+		found = found || f
+	}
+	if reached == 0 {
+		if firstErr == nil {
+			firstErr = ErrUnavailable
+		}
+		return false, fmt.Errorf("cluster: delete %d: %w", id, firstErr)
+	}
+	if found {
+		c.cachedLen.Add(-1)
+	}
+	return found, nil
+}
+
+// Graph fetches one graph by global id from whichever readable peer
+// has it; nil when no live peer holds the id.
+func (c *Coordinator) Graph(ctx context.Context, id int32) (*graph.Graph, error) {
+	req := apU32(nil, uint32(id))
+	var firstErr error
+	tried := 0
+	for _, ps := range c.orderedPeers() {
+		var g *graph.Graph
+		err := ps.call(ctx, opGraph, req, func(sr *binio.SectionReader) error {
+			if sr.U8() == 0 {
+				return sr.Err()
+			}
+			var derr error
+			g, derr = readGraph(sr)
+			return derr
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		tried++
+		if g != nil {
+			return g, nil
+		}
+	}
+	if tried == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, nil
+}
+
+// Len returns the cluster's live graph count, maintained by the health
+// loop and mutation acks (cheap, read often by the HTTP layer).
+func (c *Coordinator) Len() int { return int(c.cachedLen.Load()) }
+
+// Compact asks every readable peer to fold its shards' deltas.
+func (c *Coordinator) Compact(ctx context.Context) error { return c.broadcast(ctx, opCompact) }
+
+// Checkpoint asks every readable peer to snapshot its shards.
+func (c *Coordinator) Checkpoint(ctx context.Context) error { return c.broadcast(ctx, opCheckpoint) }
+
+func (c *Coordinator) broadcast(ctx context.Context, op byte) error {
+	reached := 0
+	var errs []error
+	for _, addr := range c.peerAddrs {
+		ps := c.peers[addr]
+		if ps.stale.Load() {
+			continue
+		}
+		if err := ps.call(ctx, op, nil, nil); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		reached++
+	}
+	if reached == 0 {
+		errs = append(errs, ErrUnavailable)
+	}
+	return errors.Join(errs...)
+}
+
+// orderedPeers lists readable peers, up ones first.
+func (c *Coordinator) orderedPeers() []*peerState {
+	var up, down []*peerState
+	for _, addr := range c.peerAddrs {
+		ps := c.peers[addr]
+		if !ps.readable() {
+			continue
+		}
+		if ps.up.Load() {
+			up = append(up, ps)
+		} else {
+			down = append(down, ps)
+		}
+	}
+	return append(up, down...)
+}
+
+// hedgeDelay derives the hedge trigger from the live search-RPC p95.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	snap := mSearchRPCSeconds.Snapshot()
+	if snap.Count() < 20 {
+		return c.cfg.HedgeDefault
+	}
+	d := time.Duration(snap.Quantile(0.95) * c.cfg.HedgeMultiplier * float64(time.Second))
+	if d < c.cfg.HedgeFloor {
+		d = c.cfg.HedgeFloor
+	}
+	if d > c.cfg.HedgeCap {
+		d = c.cfg.HedgeCap
+	}
+	return d
+}
+
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.CheckPeers()
+		}
+	}
+}
+
+// CheckPeers probes every peer once, refreshing reachability, replica
+// lag, the cached length, and stale-peer readmission. The health loop
+// calls it periodically; tests call it directly.
+func (c *Coordinator) CheckPeers() {
+	type probe struct {
+		ps *peerState
+		ns nodeState
+		ok bool
+	}
+	probes := make([]probe, len(c.peerAddrs))
+	var wg sync.WaitGroup
+	for i, addr := range c.peerAddrs {
+		wg.Add(1)
+		go func(i int, ps *peerState) {
+			defer wg.Done()
+			ns, err := c.nodeState(ps)
+			probes[i] = probe{ps: ps, ns: ns, ok: err == nil}
+		}(i, c.peers[addr])
+	}
+	wg.Wait()
+
+	// Freshest view of each shard among readable, reachable replicas.
+	maxSeq := make(map[int]uint64)
+	for _, p := range probes {
+		if !p.ok || !p.ps.readable() {
+			continue
+		}
+		for _, st := range p.ns.Shards {
+			if st.MutSeq > maxSeq[st.Shard] {
+				maxSeq[st.Shard] = st.MutSeq
+			}
+		}
+	}
+
+	upCount := 0
+	var total int64
+	counted := make(map[int]bool)
+	for _, p := range probes {
+		ps := p.ps
+		if !p.ok {
+			ps.up.Store(false)
+			mReplicaLag.With(ps.addr).Set(-1)
+			continue
+		}
+		ps.epoch.Store(p.ns.Epoch)
+		if ps.stale.Load() {
+			if p.ns.Epoch != ps.staleAtEpoch.Load() {
+				c.tryReadmit(ps)
+			}
+		} else {
+			ps.up.Store(true)
+		}
+		var lag uint64
+		for _, st := range p.ns.Shards {
+			if m := maxSeq[st.Shard]; m > st.MutSeq && m-st.MutSeq > lag {
+				lag = m - st.MutSeq
+			}
+		}
+		mReplicaLag.With(ps.addr).Set(float64(lag))
+		if ps.readable() && ps.up.Load() {
+			upCount++
+			for _, st := range p.ns.Shards {
+				if !counted[st.Shard] {
+					counted[st.Shard] = true
+					total += int64(st.Live)
+				}
+			}
+		}
+	}
+	mPeersUp.Set(float64(upCount))
+	if len(counted) == c.cfg.Shards {
+		c.cachedLen.Store(total)
+	}
+
+	// Re-seed the id counter from the largest id any peer has assigned:
+	// the Connect-time probe may have run while some peers were still
+	// booting, under-counting the id space. Only ever raises.
+	maxID := int32(-1)
+	for _, p := range probes {
+		if !p.ok {
+			continue
+		}
+		for _, st := range p.ns.Shards {
+			if st.MaxID > maxID {
+				maxID = st.MaxID
+			}
+		}
+	}
+	if maxID >= 0 {
+		c.mutMu.Lock()
+		if next := maxID + 1; next > c.nextID.Load() {
+			c.nextID.Store(next)
+		}
+		c.mutMu.Unlock()
+	}
+}
+
+// tryReadmit rejoins a restarted stale peer iff, with mutations frozen,
+// every shard it hosts matches the freshest readable replica's sequence
+// number. Equality under the mutation lock is exact equality: nothing
+// can be applied while the check runs, and once readmitted the peer
+// receives every subsequent mutation.
+func (c *Coordinator) tryReadmit(cand *peerState) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	ns, err := c.nodeState(cand)
+	if err != nil {
+		return
+	}
+	for _, st := range ns.Shards {
+		ref, ok := c.refShardSeq(st.Shard, cand)
+		if !ok {
+			// No other replica to compare against: the candidate is the
+			// best copy there is.
+			continue
+		}
+		if st.MutSeq != ref {
+			return // still catching up; try again next sweep
+		}
+	}
+	cand.stale.Store(false)
+	cand.up.Store(true)
+}
+
+// refShardSeq asks the freshest non-stale replica of shard s (excluding
+// the candidate) for its sequence number.
+func (c *Coordinator) refShardSeq(s int, exclude *peerState) (uint64, bool) {
+	if s < 0 || s >= len(c.placement) {
+		return 0, false
+	}
+	best := uint64(0)
+	found := false
+	for _, addr := range c.placement[s] {
+		ps := c.peers[addr]
+		if ps == exclude || ps.stale.Load() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
+		var seq uint64
+		var has bool
+		err := ps.call(ctx, opShardState, apUv(nil, uint64(s)), func(sr *binio.SectionReader) error {
+			has = sr.U8() != 0
+			if has {
+				seq = sr.U64()
+			}
+			return sr.Err()
+		})
+		cancel()
+		if err != nil || !has {
+			continue
+		}
+		found = true
+		if seq > best {
+			best = seq
+		}
+	}
+	return best, found
+}

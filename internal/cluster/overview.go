@@ -1,0 +1,129 @@
+// Cluster-wide aggregation: one Overview rolls every node's per-shard
+// state up into the same index/durability shape the single-process
+// database reports, so /stats against a coordinator reads like /stats
+// against a local database — plus the cluster block (peers up, shards
+// covered). Each shard is counted once, from its freshest reachable
+// replica; replicas are interchangeable by construction, so "freshest
+// reachable" and "any readable copy" only differ while a mutation or
+// catch-up is actually in flight.
+
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Overview is the coordinator's aggregate view of the cluster.
+type Overview struct {
+	// Peers and PeersUp count cluster membership vs. reachability;
+	// Shards and CoveredShards count the keyspace vs. how much of it at
+	// least one readable replica answered for. CoveredShards < Shards
+	// means queries are failing with ErrUnavailable right now.
+	Peers, PeersUp int
+	Shards         int
+	CoveredShards  int
+	Replication    int
+
+	// Index totals, summed over one replica of each covered shard.
+	Live       int
+	Classes    int
+	Fragments  int
+	Sequences  int
+	Delta      int
+	Tombstones int
+
+	// Durability totals. Durable reports whether every counted shard
+	// has a checkpointed store behind it; SnapshotSeq is the lowest
+	// (oldest) shard snapshot sequence, the conservative answer to "how
+	// far back might recovery reach". A poisoned replica poisons the
+	// aggregate, carrying the first reason seen.
+	Durable         bool
+	WALRecords      int64
+	WALBytes        int64
+	SnapshotSeq     uint64
+	Checkpoints     int64
+	LastCheckpoint  int64 // unix nanos of the oldest per-shard newest checkpoint
+	ReplayedRecords int
+	DroppedBytes    int64
+	Poisoned        bool
+	PoisonReason    string
+}
+
+// Overview polls every readable peer and aggregates. Unreachable peers
+// are skipped; the result covers whatever subset answered.
+func (c *Coordinator) Overview(ctx context.Context) Overview {
+	ov := Overview{
+		Peers:       len(c.peerAddrs),
+		Shards:      c.cfg.Shards,
+		Replication: c.cfg.Replication,
+		Durable:     true,
+	}
+	type probe struct {
+		ns nodeState
+		ok bool
+	}
+	probes := make([]probe, len(c.peerAddrs))
+	var wg sync.WaitGroup
+	for i, addr := range c.peerAddrs {
+		ps := c.peers[addr]
+		if !ps.readable() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ps *peerState) {
+			defer wg.Done()
+			ns, err := c.nodeState(ps)
+			probes[i] = probe{ns: ns, ok: err == nil}
+		}(i, ps)
+	}
+	wg.Wait()
+	best := make(map[int]shardState)
+	for _, p := range probes {
+		if !p.ok {
+			continue
+		}
+		ov.PeersUp++
+		for _, st := range p.ns.Shards {
+			if prev, seen := best[st.Shard]; !seen || st.MutSeq > prev.MutSeq {
+				best[st.Shard] = st
+			}
+		}
+	}
+	ov.CoveredShards = len(best)
+	if len(best) == 0 {
+		ov.Durable = false
+		return ov
+	}
+	first := true
+	for _, st := range best {
+		ov.Live += st.Live
+		ov.Classes += st.Classes
+		ov.Fragments += st.Frags
+		ov.Sequences += st.Seqs
+		ov.Delta += st.Delta
+		ov.Tombstones += st.Tombs
+		ov.WALRecords += st.WALRecords
+		ov.WALBytes += st.WALBytes
+		ov.Checkpoints += st.Checkpoints
+		ov.ReplayedRecords += st.ReplayedRecords
+		ov.DroppedBytes += st.DroppedBytes
+		// A store always has snapshot seq >= 1 once persisted; 0 marks an
+		// in-memory replica, which makes the cluster non-durable.
+		if st.SnapshotSeq == 0 {
+			ov.Durable = false
+		}
+		if first || st.SnapshotSeq < ov.SnapshotSeq {
+			ov.SnapshotSeq = st.SnapshotSeq
+		}
+		if first || st.LastCheckpoint < ov.LastCheckpoint {
+			ov.LastCheckpoint = st.LastCheckpoint
+		}
+		if st.Poisoned && !ov.Poisoned {
+			ov.Poisoned = true
+			ov.PoisonReason = st.PoisonReason
+		}
+		first = false
+	}
+	return ov
+}

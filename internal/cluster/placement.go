@@ -1,0 +1,72 @@
+// Shard placement by rendezvous (highest-random-weight) hashing: every
+// participant ranks each (shard, peer) pair by a hash score and takes
+// the top R peers as that shard's replica set. The map is a pure
+// function of the peer list, so every node and every coordinator — with
+// no shared state and no leader — derives the identical placement, and
+// adding or removing one peer moves only the shards that peer scored
+// highest on, not the whole keyspace.
+
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Place assigns each of nShards shards an ordered replica set of
+// min(replication, len(peers)) peers. The first entry is the shard's
+// top-scoring peer; readers rotate through the set, so the order only
+// decides who serves a shard when hedging and failover have no say.
+// The result is independent of the order peers are listed in.
+func Place(nShards int, peers []string, replication int) [][]string {
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(peers) {
+		replication = len(peers)
+	}
+	out := make([][]string, nShards)
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	ranked := make([]scored, len(peers))
+	for s := range out {
+		for i, p := range peers {
+			ranked[i] = scored{peer: p, score: rendezvousScore(s, p)}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].score != ranked[j].score {
+				return ranked[i].score > ranked[j].score
+			}
+			return ranked[i].peer < ranked[j].peer // total order even on hash ties
+		})
+		set := make([]string, replication)
+		for i := range set {
+			set[i] = ranked[i].peer
+		}
+		out[s] = set
+	}
+	return out
+}
+
+// Owned lists the shards whose replica set includes self.
+func Owned(placement [][]string, self string) []int {
+	var owned []int
+	for s, reps := range placement {
+		for _, p := range reps {
+			if p == self {
+				owned = append(owned, s)
+				break
+			}
+		}
+	}
+	return owned
+}
+
+func rendezvousScore(shard int, peer string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", shard, peer)
+	return h.Sum64()
+}

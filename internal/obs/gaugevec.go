@@ -1,0 +1,83 @@
+// GaugeVec: a family of gauges distinguished by one label, for values
+// that exist per peer/shard/resource — replica lag per cluster peer, for
+// instance — where the label set is small and discovered at runtime.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// GaugeVec is a family of gauges distinguished by one label.
+type GaugeVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*vecGauge // label value -> gauge
+	order    []string
+}
+
+type vecGauge struct{ bits atomic.Uint64 }
+
+// GaugeVec returns the one-label gauge family registered under name,
+// creating it if needed.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	m := r.lookup(name, func() metric {
+		return &GaugeVec{name: name, help: help, label: label, children: make(map[string]*vecGauge)}
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s is already registered as a %T, not a gauge vec", name, m))
+	}
+	return v
+}
+
+// With returns the child gauge for one label value. Hold on to the
+// result; the lookup takes the family lock.
+func (v *GaugeVec) With(value string) *LabeledGauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &vecGauge{}
+		v.children[value] = g
+		v.order = append(v.order, value)
+	}
+	return &LabeledGauge{g: g}
+}
+
+// Value returns the current value for one label value (0 when the child
+// was never created).
+func (v *GaugeVec) Value(value string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[value]; ok {
+		return math.Float64frombits(g.bits.Load())
+	}
+	return 0
+}
+
+// LabeledGauge is one child of a GaugeVec.
+type LabeledGauge struct{ g *vecGauge }
+
+// Set stores v.
+func (l *LabeledGauge) Set(v float64) { l.g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the child's current value.
+func (l *LabeledGauge) Value() float64 { return math.Float64frombits(l.g.bits.Load()) }
+
+func (v *GaugeVec) metricName() string { return v.name }
+
+func (v *GaugeVec) write(w *bufio.Writer) {
+	header(w, v.name, v.help, "gauge")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, val := range v.order {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, val,
+			formatFloat(math.Float64frombits(v.children[val].bits.Load())))
+	}
+}

@@ -118,6 +118,12 @@ type Segment struct {
 	// persisted at checkpoints so ids are never reused after a restart,
 	// even when their graphs were deleted and compacted away.
 	maxID int32
+	// mutSeq counts acknowledged mutations (inserts + live deletes) ever
+	// applied to this segment, surviving checkpoints and restarts via the
+	// snapshot header. Replicas of one shard apply the same mutation
+	// stream in the same order, so equal mutSeqs mean equal contents —
+	// the comparison replica catch-up is built on.
+	mutSeq uint64
 	// nlive mirrors base+delta-tombstones so Live() never contends with
 	// mu — insert routing must stay cheap even while another insert is
 	// inside a WAL fsync under the write lock. Compaction never changes
@@ -282,6 +288,7 @@ func OpenDurable(dir string, cfg Config) (*Segment, error) {
 		}
 	}
 	s.nlive.Store(int32(len(s.base) + len(s.delta) - s.tombs.Count()))
+	s.mutSeq = snap.MutSeq + uint64(len(recs))
 	s.st = st
 	return s, nil
 }
@@ -506,6 +513,7 @@ func (s *Segment) CommitInsert(g *graph.Graph, id int32) (needsCompact bool, err
 	if id > s.maxID {
 		s.maxID = id
 	}
+	s.mutSeq++
 	s.nlive.Add(1)
 	mInserts.Inc()
 	f := s.cfg.CompactFraction
@@ -529,6 +537,7 @@ func (s *Segment) Delete(id int32) (bool, error) {
 		}
 	}
 	s.tombs = s.tombs.WithSet(local)
+	s.mutSeq++
 	s.nlive.Add(-1)
 	mDeletes.Inc()
 	return true, nil
@@ -605,6 +614,62 @@ func (s *Segment) StoreStats() (st store.Stats, ok bool) {
 	return s.st.Stats(), true
 }
 
+// MutSeq returns the segment's mutation sequence number: the count of
+// acknowledged mutations ever applied, durable across restarts. Replica
+// catch-up compares two replicas' MutSeqs to pick WAL shipping (the gap
+// is still in the healthy peer's active WAL) over a full snapshot
+// transfer.
+func (s *Segment) MutSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mutSeq
+}
+
+// WALRecordsAfter returns the durable mutations with sequence numbers
+// greater than after, in order, when they are all still present in the
+// active WAL; ok is false when the gap reaches back past the last
+// checkpoint (or the segment is not durable) and the replica must fall
+// back to a full snapshot transfer.
+func (s *Segment) WALRecordsAfter(after uint64) (recs []store.Record, ok bool, err error) {
+	if s.st == nil {
+		return nil, false, nil
+	}
+	// The read lock is held across the scan: mutations and checkpoints
+	// both take the write lock, so mutSeq and the WAL contents cannot
+	// shift under us and the arithmetic below is exact.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur := s.mutSeq
+	if after > cur {
+		return nil, false, fmt.Errorf("segment: replica claims sequence %d ahead of ours (%d)", after, cur)
+	}
+	all, err := s.st.WALRecords()
+	if err != nil {
+		return nil, false, err
+	}
+	// The WAL holds exactly the last len(all) mutations, i.e. sequences
+	// cur-len(all)+1 .. cur.
+	base := cur - uint64(len(all))
+	if after < base {
+		return nil, false, nil // gap predates the active WAL: full transfer
+	}
+	return all[after-base:], true, nil
+}
+
+// TransferState returns the backing store's transferable file set (see
+// store.TransferState) and the directory to read the files from. It
+// fails on an in-memory segment.
+func (s *Segment) TransferState() (ts *store.TransferState, dir string, err error) {
+	if s.st == nil {
+		return nil, "", ErrNotDurable
+	}
+	ts, err = s.st.TransferState()
+	if err != nil {
+		return nil, "", err
+	}
+	return ts, s.st.Dir(), nil
+}
+
 // MaxID returns the largest global id ever assigned through this
 // segment (-1 when none), so an owner can restore its id counter after
 // recovery without risking reuse.
@@ -645,6 +710,7 @@ func (s *Segment) snapshotStateLocked() *store.Snapshot {
 		Index:    s.idx,
 		Delta:    s.delta,
 		DeltaIDs: s.deltaIDs,
+		MutSeq:   s.mutSeq,
 	}
 	for i, id := range s.ids {
 		if s.tombs.Has(int32(i)) {

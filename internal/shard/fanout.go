@@ -1,0 +1,112 @@
+// The fan-out/merge engine, factored over an interface so the same code
+// drives local segments (one process, package shard) and remote shard
+// replicas (package cluster): a Searcher is the query surface of one
+// shard wherever it lives, and FanOutSearch / FanOutKNN are the exact
+// fan-out and shrinking-radius merge the single-process DB has always
+// run. Because per-shard results carry global ids and verification is
+// exact, the merged answer set is independent of where each shard's
+// searcher executes — that invariance is what makes the "sharded ≡
+// unsharded" differential tests a correctness oracle for the cluster.
+
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"pis/internal/core"
+	"pis/internal/graph"
+)
+
+// Searcher is the query surface of one shard, local or remote.
+// *segment.Segment satisfies it directly; the cluster package's
+// remote-shard client satisfies it over RPC (with replica failover and
+// hedging hidden behind the same two calls).
+type Searcher interface {
+	// SearchCtx answers the SSSD query over this shard's live graphs,
+	// returning global ids. On cancellation it returns the answers fully
+	// verified so far (Stats.Partial set) with the context error.
+	SearchCtx(ctx context.Context, q *graph.Graph, sigma float64) (core.Result, error)
+	// SearchKNNCtx returns up to k nearest neighbors with global ids,
+	// searching no farther than maxSigma; startSigma seeds the threshold
+	// expansion (0 = from scratch).
+	SearchKNNCtx(ctx context.Context, q *graph.Graph, k int, startSigma, maxSigma float64) ([]core.Neighbor, error)
+}
+
+// FanOutSearch runs q against every shard concurrently and merges the
+// per-shard results into one Result. Every shard inherits a derived
+// context canceled as soon as any shard fails or the parent fires, so
+// one sick shard frees its siblings instead of letting them finish work
+// nobody will see. On failure the merged partial result (Stats.Partial
+// set) is returned with the first error; the parent context's own error
+// wins when it fired.
+func FanOutSearch(ctx context.Context, shards []Searcher, q *graph.Graph, sigma float64) (core.Result, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]core.Result, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh Searcher) {
+			defer wg.Done()
+			parts[i], errs[i] = sh.SearchCtx(sctx, q, sigma)
+			if errs[i] != nil {
+				cancel() // first failure reins in every sibling shard
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	r := core.MergeGlobal(parts)
+	for _, err := range errs {
+		if err != nil {
+			// Prefer the parent context's own error: a sibling canceled by
+			// the fan-out reports context.Canceled even when the root cause
+			// was a deadline on ctx.
+			if cerr := ctx.Err(); cerr != nil {
+				return r, cerr
+			}
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// FanOutKNN visits shards sequentially with a shrinking radius: once k
+// neighbors are in hand, shard i+1 is searched no farther than the
+// current k-th best distance, and that radius also seeds the shard's
+// threshold expansion so the pass is a single range query. Canceled
+// calls return the fully verified neighbors found so far with the error.
+func FanOutKNN(ctx context.Context, shards []Searcher, q *graph.Graph, k int, maxSigma float64) ([]core.Neighbor, error) {
+	if k <= 0 || maxSigma < 0 {
+		return nil, nil
+	}
+	radius := maxSigma
+	var best []core.Neighbor
+	for _, sh := range shards {
+		start := 0.0
+		if len(best) >= k {
+			// Radius already tight: one pass at exactly the bound suffices.
+			start = radius
+		}
+		ns, err := sh.SearchKNNCtx(ctx, q, k, start, radius)
+		if err != nil {
+			return best, err
+		}
+		best = append(best, ns...)
+		sort.SliceStable(best, func(i, j int) bool {
+			if best[i].Distance != best[j].Distance {
+				return best[i].Distance < best[j].Distance
+			}
+			return best[i].ID < best[j].ID
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) == k {
+			radius = best[k-1].Distance
+		}
+	}
+	return best, nil
+}

@@ -36,7 +36,6 @@ import (
 	"os"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 
 	"pis/internal/core"
@@ -137,8 +136,22 @@ func divideVerifyWorkers(w, nShards int) int {
 type DB struct {
 	segs []*segment.Segment
 
+	fanOnce sync.Once
+	fan     []Searcher // segs as the fan-out interface, built on first query
+
 	mu     sync.Mutex // serializes id assignment + insert routing
 	nextID int32
+}
+
+// searchers returns the shards as the fan-out interface, built once.
+func (d *DB) searchers() []Searcher {
+	d.fanOnce.Do(func() {
+		d.fan = make([]Searcher, len(d.segs))
+		for i, seg := range d.segs {
+			d.fan[i] = seg
+		}
+	})
+	return d.fan
 }
 
 // New splits graphs into nShards contiguous shards and builds every
@@ -561,35 +574,7 @@ func (d *DB) Search(q *graph.Graph, sigma float64) core.Result {
 // the merged partial result (Stats.Partial set) is returned with the
 // first error.
 func (d *DB) SearchCtx(ctx context.Context, q *graph.Graph, sigma float64) (core.Result, error) {
-	sctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	parts := make([]core.Result, len(d.segs))
-	errs := make([]error, len(d.segs))
-	var wg sync.WaitGroup
-	for i, seg := range d.segs {
-		wg.Add(1)
-		go func(i int, seg *segment.Segment) {
-			defer wg.Done()
-			parts[i], errs[i] = seg.SearchCtx(sctx, q, sigma)
-			if errs[i] != nil {
-				cancel() // first failure reins in every sibling shard
-			}
-		}(i, seg)
-	}
-	wg.Wait()
-	r := core.MergeGlobal(parts)
-	for _, err := range errs {
-		if err != nil {
-			// Prefer the parent context's own error: a sibling canceled by
-			// the fan-out reports context.Canceled even when the root cause
-			// was a deadline on ctx.
-			if cerr := ctx.Err(); cerr != nil {
-				return r, cerr
-			}
-			return r, err
-		}
-	}
-	return r, nil
+	return FanOutSearch(ctx, d.searchers(), q, sigma)
 }
 
 // SearchBatch answers many queries, each fanning out across all shards,
@@ -681,36 +666,7 @@ func (d *DB) SearchKNNCtx(ctx context.Context, q *graph.Graph, k int, maxSigma f
 }
 
 func (d *DB) searchKNN(ctx context.Context, q *graph.Graph, k int, maxSigma float64) ([]core.Neighbor, error) {
-	if k <= 0 || maxSigma < 0 {
-		return nil, nil
-	}
-	radius := maxSigma
-	var best []core.Neighbor
-	for _, seg := range d.segs {
-		start := 0.0
-		if len(best) >= k {
-			// Radius already tight: one pass at exactly the bound suffices.
-			start = radius
-		}
-		ns, err := seg.SearchKNNCtx(ctx, q, k, start, radius)
-		if err != nil {
-			return best, err
-		}
-		best = append(best, ns...)
-		sort.SliceStable(best, func(i, j int) bool {
-			if best[i].Distance != best[j].Distance {
-				return best[i].Distance < best[j].Distance
-			}
-			return best[i].ID < best[j].ID
-		})
-		if len(best) > k {
-			best = best[:k]
-		}
-		if len(best) == k {
-			radius = best[k-1].Distance
-		}
-	}
-	return best, nil
+	return FanOutKNN(ctx, d.searchers(), q, k, maxSigma)
 }
 
 // Stats sums the per-shard base index counters.

@@ -85,6 +85,13 @@ type Snapshot struct {
 	// Delta and DeltaIDs are inserted, not-yet-indexed graphs.
 	Delta    []*graph.Graph
 	DeltaIDs []int32
+	// MutSeq is the shard's mutation sequence number at checkpoint time:
+	// the count of acknowledged mutations (inserts + deletes) ever applied
+	// to the shard. The live sequence is then MutSeq plus the record count
+	// of the active WAL, which is what lets replica catch-up decide
+	// between WAL shipping and a full snapshot transfer by comparing two
+	// numbers. Zero in snapshots written before the field existed.
+	MutSeq uint64
 }
 
 // RecoveryStats describes what Open found on disk.
@@ -452,14 +459,25 @@ func readManifest(fs FS, dir string) (snapName, walName string, err error) {
 	if err != nil {
 		return "", "", fmt.Errorf("store: %s is not a segment store: %w", dir, err)
 	}
+	snapName, walName, err = ParseManifest(data)
+	if err != nil {
+		return "", "", fmt.Errorf("store: %s: %w", dir, err)
+	}
+	return snapName, walName, nil
+}
+
+// ParseManifest decodes a MANIFEST payload into the snapshot and WAL
+// file names it points at. Exported for the replica-transfer path, which
+// validates a manifest shipped over the wire before committing it.
+func ParseManifest(data []byte) (snapName, walName string, err error) {
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) < 3 || lines[0] != manifestMagic {
-		return "", "", fmt.Errorf("store: %s: malformed MANIFEST", dir)
+		return "", "", fmt.Errorf("malformed MANIFEST")
 	}
 	for _, ln := range lines[1:] {
 		key, val, ok := strings.Cut(ln, " ")
 		if !ok || strings.ContainsAny(val, "/\\") {
-			return "", "", fmt.Errorf("store: %s: malformed MANIFEST line %q", dir, ln)
+			return "", "", fmt.Errorf("malformed MANIFEST line %q", ln)
 		}
 		switch key {
 		case "snapshot":
@@ -469,7 +487,7 @@ func readManifest(fs FS, dir string) (snapName, walName string, err error) {
 		}
 	}
 	if snapName == "" || walName == "" {
-		return "", "", fmt.Errorf("store: %s: MANIFEST names no snapshot/wal pair", dir)
+		return "", "", fmt.Errorf("MANIFEST names no snapshot/wal pair")
 	}
 	return snapName, walName, nil
 }
@@ -508,11 +526,13 @@ func writeSnapshot(w io.Writer, snap *Snapshot, seq uint64, idxFile string) erro
 	sw.Uvarint(uint64(len(snap.Tombs)))
 	sw.Uvarint(uint64(len(snap.Delta)))
 	sw.U64(uint64(idx.Len()))
-	// Trailing header field added after PISSNAP2 shipped: the index side
-	// file name. Old snapshots end the header at idxLen; the reader treats
-	// the absent field as "index embedded".
+	// Trailing header fields added after PISSNAP2 shipped: the index side
+	// file name, then the mutation sequence. Old snapshots end the header
+	// at idxLen; the reader treats the absent fields as "index embedded"
+	// and "sequence unknown (0)".
 	sw.Uvarint(uint64(len(idxFile)))
 	sw.Bytes([]byte(idxFile))
+	sw.U64(snap.MutSeq)
 	if err := sw.Flush(); err != nil {
 		return err
 	}
@@ -593,6 +613,9 @@ func loadSnapshot(fs FS, path string, metric distance.Metric, mapped bool) (*Sna
 	idxFile := ""
 	if sr.Remaining() > 0 { // absent in snapshots written before side files
 		idxFile = string(sr.Bytes(int(sr.Uvarint())))
+	}
+	if sr.Remaining() > 0 { // absent before the mutation sequence existed
+		snap.MutSeq = sr.U64()
 	}
 	if err := sr.Err(); err != nil {
 		return nil, 0, fmt.Errorf("header: %w", err)

@@ -253,8 +253,22 @@ func New(cfg Config) (*Server, error) {
 	// 503 via Config.StrictHealth or ?strict=1.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		strict := s.cfg.StrictHealth || r.URL.Query().Get("strict") == "1"
+		if cb, ok := s.backend.(clusterBackend); ok {
+			if ov := cb.Overview(); ov.CoveredShards < ov.Shards {
+				// Some shard has no live replica: queries are failing with
+				// 503 right now, so the node is degraded even though the
+				// process itself is healthy.
+				if strict {
+					w.WriteHeader(http.StatusServiceUnavailable)
+				}
+				fmt.Fprintf(w, "degraded: %d of %d shards have no live replica (%d/%d peers up)\n",
+					ov.Shards-ov.CoveredShards, ov.Shards, ov.PeersUp, ov.Peers)
+				return
+			}
+		}
 		if d := s.backend.Durability(); d.Poisoned {
-			if s.cfg.StrictHealth || r.URL.Query().Get("strict") == "1" {
+			if strict {
 				w.WriteHeader(http.StatusServiceUnavailable)
 			}
 			fmt.Fprintf(w, "degraded: store poisoned (read-only): %s\n", d.PoisonReason)
@@ -484,13 +498,17 @@ func (s *Server) searchResponse(ctx context.Context, q *pis.Graph, sigma float64
 }
 
 // writeQueryError maps a failed query's error to an HTTP status: a
-// deadline is the server's fault under load (504), a canceled context
-// means the client hung up or the server is shedding (503), anything
-// else is a plain 500.
+// deadline is the server's fault under load (504), quorum loss on a
+// cluster backend means no live replica could answer some shard (503,
+// retryable once a replica returns), a canceled context means the
+// client hung up or the server is shedding (503), anything else is a
+// plain 500.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pis.ErrDeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded: "+err.Error())
+	case errors.Is(err, pis.ErrUnavailable):
+		writeError(w, http.StatusServiceUnavailable, "cluster unavailable: "+err.Error())
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, "query canceled: "+err.Error())
 	default:
@@ -882,11 +900,28 @@ type ServerStats struct {
 	Planner       PlannerStatsJSON             `json:"planner"`
 	Mutations     MutationStatsJSON            `json:"mutations"`
 	Durability    *DurabilityStatsJSON         `json:"durability,omitempty"`
+	Cluster       *ClusterStatsJSON            `json:"cluster,omitempty"`
 	Requests      map[string]EndpointStatsJSON `json:"requests"`
 	InFlightLimit int                          `json:"inflight_limit,omitempty"`
 	UptimeMS      float64                      `json:"uptime_ms"`
 	Observability ObservabilityJSON            `json:"observability"`
 	Runtime       RuntimeStatsJSON             `json:"runtime"`
+}
+
+// clusterBackend is the extra surface a replicated backend
+// (*pis.ClusterNode) exposes; single-process backends lack it.
+type clusterBackend interface {
+	Overview() pis.ClusterOverview
+}
+
+// ClusterStatsJSON is the /stats cluster block, present only when the
+// backend is a cluster node.
+type ClusterStatsJSON struct {
+	Peers         int `json:"peers"`
+	PeersUp       int `json:"peers_up"`
+	Shards        int `json:"shards"`
+	CoveredShards int `json:"covered_shards"`
+	Replication   int `json:"replication"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -910,6 +945,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sh, ok := s.backend.(interface{ NumShards() int }); ok {
 		out.Shards = sh.NumShards()
+	}
+	if cb, ok := s.backend.(clusterBackend); ok {
+		ov := cb.Overview()
+		out.Shards = ov.Shards
+		out.Cluster = &ClusterStatsJSON{
+			Peers:         ov.Peers,
+			PeersUp:       ov.PeersUp,
+			Shards:        ov.Shards,
+			CoveredShards: ov.CoveredShards,
+			Replication:   ov.Replication,
+		}
 	}
 	s.mu.Lock()
 	out.Mutations = s.mutations
